@@ -1,0 +1,66 @@
+package repro
+
+// One testing.B benchmark per table and figure in the paper's
+// evaluation: each regenerates the artifact from scratch (compile, run,
+// model). Run a single one with e.g.
+//
+//	go test -bench Fig4 -benchtime=1x
+//
+// and everything with
+//
+//	go test -bench . -benchmem
+//
+// The wall time reported is the cost of reproducing that artifact.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e := experiments.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx := &experiments.Ctx{Lab: core.NewLab(), W: io.Discard}
+		if err := e.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Density(b *testing.B)            { benchExperiment(b, "fig4") }
+func BenchmarkFig5PathLength(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkFig6RegisterDensity(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7RegisterPath(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8TwoAddressDensity(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig9TwoAddressPath(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFig10Immediates(b *testing.B)        { benchExperiment(b, "fig10") }
+func BenchmarkFig11DensitySummary(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12PathSummary(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13TrafficVsSize(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkFig14NoCacheCPI(b *testing.B)        { benchExperiment(b, "fig14") }
+func BenchmarkFig15FetchSaturation(b *testing.B)   { benchExperiment(b, "fig15") }
+func BenchmarkFig16CacheMissRates(b *testing.B)    { benchExperiment(b, "fig16") }
+func BenchmarkFig17CPI4KCaches(b *testing.B)       { benchExperiment(b, "fig17") }
+func BenchmarkFig18CPI16KCaches(b *testing.B)      { benchExperiment(b, "fig18") }
+func BenchmarkFig19CacheTraffic(b *testing.B)      { benchExperiment(b, "fig19") }
+func BenchmarkTab3DataTraffic(b *testing.B)        { benchExperiment(b, "tab3") }
+func BenchmarkTab4ImmediateFreq(b *testing.B)      { benchExperiment(b, "tab4") }
+func BenchmarkTab5Summary(b *testing.B)            { benchExperiment(b, "tab5") }
+func BenchmarkTab6CodeSize(b *testing.B)           { benchExperiment(b, "tab6") }
+func BenchmarkTab7PathLength(b *testing.B)         { benchExperiment(b, "tab7") }
+func BenchmarkTab8Traffic(b *testing.B)            { benchExperiment(b, "tab8") }
+func BenchmarkTab9LoadsStores(b *testing.B)        { benchExperiment(b, "tab9") }
+func BenchmarkTab10Interlocks(b *testing.B)        { benchExperiment(b, "tab10") }
+func BenchmarkTab11Cycles32Bit(b *testing.B)       { benchExperiment(b, "tab11") }
+func BenchmarkTab12Cycles64Bit(b *testing.B)       { benchExperiment(b, "tab12") }
+func BenchmarkTab13CacheBenchTraffic(b *testing.B) { benchExperiment(b, "tab13") }
+func BenchmarkTab14MissRatesAssem(b *testing.B)    { benchExperiment(b, "tab14") }
+func BenchmarkTab15MissRatesIPL(b *testing.B)      { benchExperiment(b, "tab15") }
+func BenchmarkTab16MissRatesLatex(b *testing.B)    { benchExperiment(b, "tab16") }

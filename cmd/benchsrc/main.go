@@ -1,0 +1,22 @@
+// Command benchsrc prints the MC source of a built-in benchmark.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchsrc <name>")
+		os.Exit(2)
+	}
+	b := bench.ByName(os.Args[1])
+	if b == nil {
+		fmt.Fprintln(os.Stderr, "unknown benchmark")
+		os.Exit(2)
+	}
+	fmt.Print(b.Source)
+}

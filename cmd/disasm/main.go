@@ -1,0 +1,73 @@
+// Command disasm compiles an MC source file (or built-in benchmark) and
+// prints an annotated disassembly of the resulting image.
+//
+// Usage:
+//
+//	disasm [-target d16|dlxe] [-regs N] [-2addr] (-bench name | file.mc)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/dis"
+	"repro/internal/isa"
+	"repro/internal/mcc"
+)
+
+func main() {
+	target := flag.String("target", "d16", "instruction set: d16 or dlxe")
+	regs := flag.Int("regs", 0, "restrict register file size")
+	twoAddr := flag.Bool("2addr", false, "restrict to two-address operations")
+	benchName := flag.String("bench", "", "disassemble a built-in benchmark")
+	flag.Parse()
+
+	var spec *isa.Spec
+	switch *target {
+	case "d16":
+		spec = isa.D16()
+	case "dlxe":
+		spec = isa.DLXe()
+	default:
+		fmt.Fprintln(os.Stderr, "unknown target", *target)
+		os.Exit(2)
+	}
+	if *regs > 0 {
+		spec = isa.RestrictRegs(spec, *regs)
+	}
+	if *twoAddr {
+		spec = isa.TwoAddress(spec)
+	}
+
+	var name, src string
+	switch {
+	case *benchName != "":
+		b := bench.ByName(*benchName)
+		if b == nil {
+			fmt.Fprintln(os.Stderr, "unknown benchmark", *benchName)
+			os.Exit(2)
+		}
+		name, src = b.Name+".mc", b.Source
+	case flag.NArg() == 1:
+		raw, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		name, src = flag.Arg(0), string(raw)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: disasm [flags] file.mc (or -bench name)")
+		os.Exit(2)
+	}
+
+	c, err := mcc.Compile(name, src, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("; %s for %s: %d bytes text, %d bytes data, %d instructions\n",
+		name, spec, len(c.Image.Text), len(c.Image.Data), c.Image.TextInstrs)
+	fmt.Print(dis.Listing(c.Image))
+}

@@ -1,0 +1,104 @@
+// Command mcrun compiles and runs an MC source file (or a named built-in
+// benchmark) on the simulator, printing output and dynamic statistics.
+//
+// Usage:
+//
+//	mcrun [-target d16|dlxe] [-regs N] [-2addr] [-bench name] [-dumpasm] [file.mc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/mcc"
+	"repro/internal/sim"
+)
+
+func main() {
+	target := flag.String("target", "d16", "instruction set: d16 or dlxe")
+	regs := flag.Int("regs", 0, "restrict register file size (DLXe ablation)")
+	twoAddr := flag.Bool("2addr", false, "restrict to two-address operations")
+	benchName := flag.String("bench", "", "run a built-in benchmark instead of a file")
+	dumpAsm := flag.Bool("dumpasm", false, "print generated assembly")
+	profile := flag.Bool("profile", false, "print a function-level instruction profile")
+	maxInstrs := flag.Int64("max", 2_000_000_000, "instruction budget")
+	flag.Parse()
+
+	var spec *isa.Spec
+	switch *target {
+	case "d16":
+		spec = isa.D16()
+	case "dlxe":
+		spec = isa.DLXe()
+	default:
+		fmt.Fprintln(os.Stderr, "unknown target", *target)
+		os.Exit(2)
+	}
+	if *regs > 0 {
+		spec = isa.RestrictRegs(spec, *regs)
+	}
+	if *twoAddr {
+		spec = isa.TwoAddress(spec)
+	}
+
+	var name, src string
+	switch {
+	case *benchName != "":
+		b := bench.ByName(*benchName)
+		if b == nil {
+			fmt.Fprintln(os.Stderr, "unknown benchmark", *benchName)
+			os.Exit(2)
+		}
+		name, src = b.Name+".mc", b.Source
+		if *maxInstrs > b.MaxInstrs {
+			*maxInstrs = b.MaxInstrs
+		}
+	case flag.NArg() == 1:
+		raw, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		name, src = flag.Arg(0), string(raw)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mcrun [flags] file.mc (or -bench name)")
+		os.Exit(2)
+	}
+
+	c, err := mcc.Compile(name, src, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *dumpAsm {
+		fmt.Print(c.Asm)
+	}
+	m, err := sim.New(c.Image)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var prof *sim.Profile
+	if *profile {
+		prof = sim.NewProfile(c.Image)
+		m.Attach(prof)
+	}
+	runErr := m.Run(*maxInstrs)
+	if prof != nil {
+		fmt.Fprintf(os.Stderr, "--- profile ---\n%s", prof.String())
+	}
+	fmt.Print(m.Output.String())
+	fmt.Fprintf(os.Stderr, "--- %s on %s ---\n", name, spec)
+	fmt.Fprintf(os.Stderr, "size=%d bytes (text %d, pools %d, data %d)\n",
+		c.Image.Size(), len(c.Image.Text), c.Image.PoolBytes, len(c.Image.Data))
+	fmt.Fprintf(os.Stderr, "instrs=%d interlocks=%d loads=%d (pool %d) stores=%d fetchwords=%d spills=%d\n",
+		m.Stats.Instrs, m.Stats.Interlocks, m.Stats.Loads, m.Stats.PoolLoads,
+		m.Stats.Stores, m.Stats.FetchWords, c.Spills)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "FAULT: %v (near %s)\n", runErr, c.Image.SymbolAt(m.PC))
+		os.Exit(1)
+	}
+}

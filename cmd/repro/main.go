@@ -1,0 +1,59 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro -list            # enumerate experiments
+//	repro -run fig4,tab5   # run selected experiments
+//	repro -run all         # run everything (the full evaluation)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	run := flag.String("run", "all", "comma-separated experiment IDs, or \"all\"")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []*experiments.Experiment
+	if *run == "all" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e := experiments.ByID(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	ctx := &experiments.Ctx{Lab: core.NewLab(), W: os.Stdout}
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("==============================================================\n")
+		fmt.Printf("%s — %s\n", e.ID, e.Title)
+		fmt.Printf("==============================================================\n")
+		if err := e.Run(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

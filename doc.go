@@ -1,0 +1,23 @@
+// Package repro is a from-scratch reproduction of Bunda, Fussell,
+// Jenevein and Athas, "16-Bit vs. 32-Bit Instructions for Pipelined
+// Microprocessors" (ISCA 1993).
+//
+// The repository contains everything the paper's methodology needs,
+// implemented in pure Go with only the standard library:
+//
+//   - the D16 (16-bit) and DLXe (32-bit) instruction encodings,
+//   - a two-pass assembler with literal pools and branch relaxation,
+//   - MCC, an optimizing C-subset compiler with one parameterized
+//     backend whose code-generation knobs (register-file size, two- vs.
+//     three-address operations, immediate and displacement widths) are
+//     the paper's Section 3.3 instrumentation,
+//   - an architecture simulator for the shared five-stage pipeline with
+//     delay slots and an interlock scoreboard,
+//   - cacheless memory-interface models and a dinero-style sub-blocked
+//     cache simulator,
+//   - the 15-program benchmark suite of the paper's Table 2, and
+//   - experiment runners that regenerate every figure and table.
+//
+// Start with README.md, DESIGN.md and cmd/repro. The root-level
+// bench_test.go exposes each experiment as a testing.B benchmark.
+package repro

@@ -1,0 +1,97 @@
+// Isafeatures: the paper's Section 3.3 feature-ablation methodology on a
+// single kernel. The DLXe code generator is selectively restricted
+// (register-file size, two-address operations) and the resulting density
+// and path-length deltas attribute the 16-bit format's costs to
+// individual instruction-set features.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/isa"
+	"repro/internal/mcc"
+	"repro/internal/sim"
+)
+
+// A register-hungry kernel with immediate-rich addressing: feature
+// restrictions all show up.
+const kernel = `
+int a[256];
+int b[256];
+
+int seed = 12345;
+
+int rnd() {
+	seed = seed * 1103515 + 12345;
+	if (seed < 0) seed = -seed;
+	return seed;
+}
+
+int convolve() {
+	int i, acc = 0;
+	for (i = 4; i < 252; i++) {
+		int w0 = a[i - 4], w1 = a[i - 3], w2 = a[i - 2], w3 = a[i - 1];
+		int w4 = a[i], w5 = a[i + 1], w6 = a[i + 2], w7 = a[i + 3];
+		int v = w0 - 3 * w1 + 5 * w2 - 7 * w3 + 7 * w4 - 5 * w5 + 3 * w6 - w7;
+		b[i] = v >> 2;
+		acc += b[i] & 1023;
+	}
+	return acc;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 256; i++) a[i] = rnd() % 10000;
+	int acc = 0;
+	for (i = 0; i < 40; i++) acc = (acc + convolve()) & 0xFFFFF;
+	print_int(acc);
+	return 0;
+}
+`
+
+func main() {
+	configs := []*isa.Spec{
+		isa.D16(),
+		isa.TwoAddress(isa.RestrictRegs(isa.DLXe(), 16)),
+		isa.RestrictRegs(isa.DLXe(), 16),
+		isa.TwoAddress(isa.DLXe()),
+		isa.DLXe(),
+	}
+
+	fmt.Println("Feature ablation on a convolution kernel (ratios vs D16):")
+	fmt.Println()
+	fmt.Printf("%-12s %8s %10s %7s %8s %8s %8s\n",
+		"config", "bytes", "instrs", "spills", "size/", "path/", "output")
+
+	var baseSize, basePath float64
+	for i, spec := range configs {
+		c, err := mcc.Compile("kernel.mc", kernel, spec)
+		if err != nil {
+			log.Fatalf("%s: %v", spec, err)
+		}
+		m, err := sim.New(c.Image)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Run(200_000_000); err != nil {
+			log.Fatalf("%s: %v", spec, err)
+		}
+		if i == 0 {
+			baseSize = float64(c.Image.Size())
+			basePath = float64(m.Stats.Instrs)
+		}
+		fmt.Printf("%-12s %8d %10d %7d %8.2f %8.2f %8s\n",
+			spec.Name, c.Image.Size(), m.Stats.Instrs, c.Spills,
+			float64(c.Image.Size())/baseSize,
+			float64(m.Stats.Instrs)/basePath,
+			m.Output.String())
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the columns: moving down the table restores DLXe features")
+	fmt.Println("one at a time — three-address form removes copy instructions, the")
+	fmt.Println("32-register file removes spill traffic, and DLXe's 16-bit")
+	fmt.Println("immediates/displacements shrink address arithmetic. Each step")
+	fmt.Println("shortens the path but pays for it in code bytes.")
+}

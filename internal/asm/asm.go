@@ -1,0 +1,619 @@
+// Package asm implements a two-pass assembler for the common assembly
+// language shared by the D16 and DLXe targets.
+//
+// The same source assembles for either target: the assembler accepts the
+// canonical three-operand syntax everywhere and validates two-address
+// constraints at encode time, expands target-dependent pseudo-instructions
+// (la/li, call, ret, j/jl to a label), manages D16 literal pools (the LDC
+// mechanism), and relaxes out-of-range branches into far sequences.
+//
+// Directives: .text .data .global .align .word .half .byte .asciiz .space
+// .pool — plus labels ("name:") and ;/# comments.
+//
+// Delay slots are architectural and explicit: the assembler never inserts
+// them. Writers (including the compiler) place the delay-slot instruction
+// textually after every branch, jump and call.
+package asm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+type section uint8
+
+const (
+	secText section = iota
+	secData
+	secBSS // zero-initialized data: addressed after .data, occupies no file bytes
+)
+
+type tgtKind uint8
+
+const (
+	tgtNone   tgtKind = iota
+	tgtAbs            // Imm = eval(expr) directly
+	tgtBranch         // Imm = eval(expr) - item address (relaxable)
+	tgtJump           // J-type: Imm = eval(expr) - item address
+	tgtLit            // literal pool reference: Imm = literal addr - item address
+)
+
+type itemKind uint8
+
+const (
+	itInstr itemKind = iota
+	itLabel
+	itPool
+	itAlign
+	itWord
+	itHalf
+	itByte
+	itAscii
+	itSpace
+)
+
+type literal struct {
+	e    expr
+	addr uint32
+}
+
+type item struct {
+	kind itemKind
+	sec  section
+	line int
+	addr uint32
+	size uint32
+
+	// itInstr
+	in      isa.Instr
+	tgt     expr
+	tgtKind tgtKind
+	noRelax bool // part of an already-expanded far sequence
+	lit     *literal
+
+	// itLabel / itWord / itHalf / itByte / itAscii / itSpace / itAlign
+	name  string
+	exprs []expr
+	data  []byte
+	n     uint32
+
+	// itPool
+	lits []*literal
+}
+
+// Assembler holds one assembly unit in progress.
+type Assembler struct {
+	spec     *isa.Spec
+	items    []*item
+	sec      section
+	globals  map[string]bool
+	errs     []error
+	farSeq   int
+	file     string
+	bssBytes uint32
+}
+
+// Assemble assembles one complete program (a single unit; the compiler
+// concatenates the runtime library and all compiled code into one source).
+func Assemble(file, src string, spec *isa.Spec) (*prog.Image, error) {
+	a := &Assembler{spec: spec, globals: map[string]bool{}, file: file}
+	for i, line := range strings.Split(src, "\n") {
+		a.parseLine(i+1, line)
+	}
+	if len(a.errs) > 0 {
+		return nil, a.joined()
+	}
+	return a.link()
+}
+
+func (a *Assembler) errf(line int, format string, args ...any) {
+	a.errs = append(a.errs, fmt.Errorf("%s:%d: %s", a.file, line, fmt.Sprintf(format, args...)))
+}
+
+func (a *Assembler) joined() error {
+	const max = 20
+	errs := a.errs
+	if len(errs) > max {
+		errs = append(errs[:max:max], fmt.Errorf("... and %d more errors", len(a.errs)-max))
+	}
+	return errors.Join(errs...)
+}
+
+func (a *Assembler) add(it *item) *item {
+	it.sec = a.sec
+	a.items = append(a.items, it)
+	return it
+}
+
+func (a *Assembler) instr(line int, in isa.Instr) *item {
+	return a.add(&item{kind: itInstr, line: line, in: in})
+}
+
+// --- line parsing ---------------------------------------------------------
+
+func (a *Assembler) parseLine(lineNo int, raw string) {
+	line := strings.TrimSpace(stripComment(raw))
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 {
+			break
+		}
+		name := strings.TrimSpace(line[:i])
+		if !validSymbol(name) {
+			break
+		}
+		a.add(&item{kind: itLabel, line: lineNo, name: name})
+		line = strings.TrimSpace(line[i+1:])
+	}
+	if line == "" {
+		return
+	}
+	if line[0] == '.' {
+		a.parseDirective(lineNo, line)
+		return
+	}
+
+	fields := strings.SplitN(line, " ", 2)
+	mn := fields[0]
+	rest := ""
+	if len(fields) == 2 {
+		rest = fields[1]
+	}
+	var ops []operand
+	if strings.TrimSpace(rest) != "" {
+		for _, s := range splitOperands(rest) {
+			op, err := parseOperand(s)
+			if err != nil {
+				a.errf(lineNo, "%v", err)
+				return
+			}
+			ops = append(ops, op)
+		}
+	}
+	a.buildInstr(lineNo, mn, ops)
+}
+
+func (a *Assembler) parseDirective(lineNo int, line string) {
+	fields := strings.SplitN(line, " ", 2)
+	dir := fields[0]
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".text":
+		a.sec = secText
+	case ".data":
+		a.sec = secData
+	case ".bss":
+		a.sec = secBSS
+	case ".global", ".globl":
+		a.globals[rest] = true
+	case ".pool":
+		a.add(&item{kind: itPool, line: lineNo})
+	case ".align":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			a.errf(lineNo, "bad alignment %q", rest)
+			return
+		}
+		a.add(&item{kind: itAlign, line: lineNo, n: uint32(n)})
+	case ".word", ".half", ".byte":
+		kind := map[string]itemKind{".word": itWord, ".half": itHalf, ".byte": itByte}[dir]
+		it := &item{kind: kind, line: lineNo}
+		for _, s := range splitOperands(rest) {
+			e, err := parseExpr(s)
+			if err != nil {
+				a.errf(lineNo, "%v", err)
+				return
+			}
+			it.exprs = append(it.exprs, e)
+		}
+		if len(it.exprs) == 0 {
+			a.errf(lineNo, "%s needs at least one value", dir)
+			return
+		}
+		a.add(it)
+	case ".asciiz", ".ascii":
+		s, err := unquoteString(rest)
+		if err != nil {
+			a.errf(lineNo, "%v", err)
+			return
+		}
+		if dir == ".asciiz" {
+			s += "\x00"
+		}
+		a.add(&item{kind: itAscii, line: lineNo, data: []byte(s)})
+	case ".space":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			a.errf(lineNo, "bad .space size %q", rest)
+			return
+		}
+		a.add(&item{kind: itSpace, line: lineNo, n: uint32(n)})
+	default:
+		a.errf(lineNo, "unknown directive %s", dir)
+	}
+}
+
+// --- instruction building -------------------------------------------------
+
+func (a *Assembler) buildInstr(line int, mn string, ops []operand) {
+	switch mn {
+	case "la", "li":
+		a.expandLA(line, ops)
+		return
+	case "call":
+		a.expandCall(line, ops)
+		return
+	case "ret":
+		if len(ops) != 0 {
+			a.errf(line, "ret takes no operands")
+			return
+		}
+		a.instr(line, isa.Instr{Op: isa.J, Rs1: isa.RegLink})
+		return
+	case "b":
+		mn = "br"
+	}
+
+	op, cond, ok := mnemonic(mn)
+	if !ok {
+		a.errf(line, "unknown mnemonic %q", mn)
+		return
+	}
+
+	wantReg := func(i int) (isa.Reg, bool) {
+		if i >= len(ops) || ops[i].kind != kindReg {
+			a.errf(line, "%s: operand %d must be a register", mn, i+1)
+			return isa.NoReg, false
+		}
+		return ops[i].reg, true
+	}
+
+	switch {
+	case op == isa.NOP:
+		a.instr(line, isa.MakeNop())
+
+	case op == isa.LDC:
+		if len(ops) != 2 {
+			a.errf(line, "ldc needs destination and literal")
+			return
+		}
+		rd, ok := wantReg(0)
+		if !ok {
+			return
+		}
+		switch ops[1].kind {
+		case kindLit:
+			it := a.instr(line, isa.Instr{Op: isa.LDC, Rd: rd, Rs1: isa.NoReg})
+			it.tgt, it.tgtKind = ops[1].e, tgtLit
+		case kindExpr:
+			it := a.instr(line, isa.Instr{Op: isa.LDC, Rd: rd, Rs1: isa.NoReg})
+			it.tgt, it.tgtKind = ops[1].e, tgtAbs
+		default:
+			a.errf(line, "ldc operand must be =literal or displacement")
+		}
+
+	case op.IsLoad() || op.IsStore():
+		if len(ops) != 2 {
+			a.errf(line, "%s needs value register and address", mn)
+			return
+		}
+		rd, ok := wantReg(0)
+		if !ok {
+			return
+		}
+		if ops[1].kind != kindMem {
+			a.errf(line, "%s: second operand must be disp(reg)", mn)
+			return
+		}
+		it := a.instr(line, isa.Instr{Op: op, Rd: rd, Rs1: ops[1].reg})
+		it.tgt, it.tgtKind = ops[1].e, tgtAbs
+
+	case op == isa.BR:
+		if len(ops) != 1 || ops[0].kind != kindExpr {
+			a.errf(line, "br needs a target")
+			return
+		}
+		a.branchItem(line, isa.Instr{Op: isa.BR}, ops[0].e)
+
+	case op == isa.BZ || op == isa.BNZ:
+		in := isa.Instr{Op: op, Rs1: isa.RegCC}
+		var target expr
+		switch len(ops) {
+		case 1:
+			if ops[0].kind != kindExpr {
+				a.errf(line, "%s needs a target", mn)
+				return
+			}
+			target = ops[0].e
+		case 2:
+			rs, ok := wantReg(0)
+			if !ok {
+				return
+			}
+			if ops[1].kind != kindExpr {
+				a.errf(line, "%s needs a target", mn)
+				return
+			}
+			in.Rs1, target = rs, ops[1].e
+		default:
+			a.errf(line, "%s needs [reg,] target", mn)
+			return
+		}
+		a.branchItem(line, in, target)
+
+	case op.IsJump():
+		if len(ops) != 1 {
+			a.errf(line, "%s needs one operand", mn)
+			return
+		}
+		switch ops[0].kind {
+		case kindReg:
+			a.instr(line, isa.Instr{Op: op, Rs1: ops[0].reg})
+		case kindExpr:
+			a.jumpToLabel(line, op, ops[0].e)
+		default:
+			a.errf(line, "%s operand must be a register or target", mn)
+		}
+
+	case op == isa.CMP:
+		var rd, rs1 isa.Reg
+		var right operand
+		switch len(ops) {
+		case 2: // D16 sugar: destination implicitly r0
+			r1, ok := wantReg(0)
+			if !ok {
+				return
+			}
+			rd, rs1, right = isa.RegCC, r1, ops[1]
+		case 3:
+			d, ok := wantReg(0)
+			if !ok {
+				return
+			}
+			r1, ok := wantReg(1)
+			if !ok {
+				return
+			}
+			rd, rs1, right = d, r1, ops[2]
+		default:
+			a.errf(line, "cmp needs 2 or 3 operands")
+			return
+		}
+		in := isa.Instr{Op: isa.CMP, Cond: cond, Rd: rd, Rs1: rs1}
+		if right.kind == kindReg {
+			in.Rs2 = right.reg
+			a.instr(line, in)
+		} else if right.kind == kindExpr {
+			in.HasImm = true
+			it := a.instr(line, in)
+			it.tgt, it.tgtKind = right.e, tgtAbs
+		} else {
+			a.errf(line, "cmp right operand must be register or immediate")
+		}
+
+	case op == isa.MVI || op == isa.MVHI || op == isa.TRAP:
+		var rd isa.Reg
+		idx := 0
+		if op != isa.TRAP {
+			r, ok := wantReg(0)
+			if !ok {
+				return
+			}
+			rd = r
+			idx = 1
+		}
+		if len(ops) != idx+1 || ops[idx].kind != kindExpr {
+			a.errf(line, "%s needs an immediate", mn)
+			return
+		}
+		it := a.instr(line, isa.Instr{Op: op, Rd: rd, HasImm: true})
+		it.tgt, it.tgtKind = ops[idx].e, tgtAbs
+
+	case op == isa.RDSR:
+		rd, ok := wantReg(0)
+		if !ok || len(ops) != 1 {
+			a.errf(line, "rdsr needs one destination register")
+			return
+		}
+		a.instr(line, isa.Instr{Op: isa.RDSR, Rd: rd})
+
+	case op == isa.MV || op == isa.MVFL || op == isa.MVFH || op == isa.MFFL ||
+		op == isa.MFFH || op == isa.FMV || (op >= isa.CVTSISF && op <= isa.CVTSFSI):
+		if len(ops) != 2 {
+			a.errf(line, "%s needs two registers", mn)
+			return
+		}
+		rd, ok := wantReg(0)
+		if !ok {
+			return
+		}
+		rs, ok := wantReg(1)
+		if !ok {
+			return
+		}
+		a.instr(line, isa.Instr{Op: op, Rd: rd, Rs1: rs})
+
+	case op == isa.NEG || op == isa.INV || op == isa.FNEGS || op == isa.FNEGD:
+		switch len(ops) {
+		case 1:
+			rd, ok := wantReg(0)
+			if !ok {
+				return
+			}
+			a.instr(line, isa.Instr{Op: op, Rd: rd, Rs1: rd})
+		case 2:
+			rd, ok := wantReg(0)
+			if !ok {
+				return
+			}
+			rs, ok := wantReg(1)
+			if !ok {
+				return
+			}
+			a.instr(line, isa.Instr{Op: op, Rd: rd, Rs1: rs})
+		default:
+			a.errf(line, "%s needs 1 or 2 registers", mn)
+		}
+
+	case op.IsFCmp():
+		if len(ops) != 2 {
+			a.errf(line, "%s needs two registers", mn)
+			return
+		}
+		r1, ok := wantReg(0)
+		if !ok {
+			return
+		}
+		r2, ok := wantReg(1)
+		if !ok {
+			return
+		}
+		a.instr(line, isa.Instr{Op: op, Cond: cond, Rs1: r1, Rs2: r2})
+
+	default:
+		// Register-register / register-immediate ALU and FP arithmetic, in
+		// three-operand or two-operand (rd == rs1) form.
+		var rd, rs1 isa.Reg
+		var last operand
+		switch len(ops) {
+		case 2:
+			r, ok := wantReg(0)
+			if !ok {
+				return
+			}
+			rd, rs1, last = r, r, ops[1]
+		case 3:
+			d, ok := wantReg(0)
+			if !ok {
+				return
+			}
+			r1, ok := wantReg(1)
+			if !ok {
+				return
+			}
+			rd, rs1, last = d, r1, ops[2]
+		default:
+			a.errf(line, "%s needs 2 or 3 operands", mn)
+			return
+		}
+		in := isa.Instr{Op: op, Rd: rd, Rs1: rs1}
+		switch {
+		case op.HasImmediate():
+			if last.kind != kindExpr {
+				a.errf(line, "%s needs an immediate operand", mn)
+				return
+			}
+			in.HasImm = true
+			it := a.instr(line, in)
+			it.tgt, it.tgtKind = last.e, tgtAbs
+		case last.kind == kindReg:
+			in.Rs2 = last.reg
+			a.instr(line, in)
+		default:
+			a.errf(line, "%s needs a register operand (use the -i form for immediates)", mn)
+		}
+	}
+}
+
+// branchItem records a PC-relative branch. A constant target expression is
+// a raw displacement (disassembler round-trip form); a symbolic one is
+// resolved and relaxed as needed.
+func (a *Assembler) branchItem(line int, in isa.Instr, target expr) {
+	it := a.instr(line, in)
+	if target.isConst() && target.mod == modNone {
+		it.tgt, it.tgtKind = target, tgtAbs
+		return
+	}
+	it.tgt, it.tgtKind = target, tgtBranch
+}
+
+// jumpToLabel handles "j label" / "jl label": a J-type jump on DLXe, and a
+// literal-pool address load plus register jump on D16.
+func (a *Assembler) jumpToLabel(line int, op isa.Op, target expr) {
+	if op == isa.JZ || op == isa.JNZ {
+		a.errf(line, "%s requires a register target", op)
+		return
+	}
+	if a.spec.HasJType {
+		it := a.instr(line, isa.Instr{Op: op, HasImm: true})
+		if target.isConst() && target.mod == modNone {
+			it.tgt, it.tgtKind = target, tgtAbs
+		} else {
+			it.tgt, it.tgtKind = target, tgtJump
+		}
+		return
+	}
+	lit := a.instr(line, isa.Instr{Op: isa.LDC, Rd: isa.RegCC, Rs1: isa.NoReg})
+	lit.tgt, lit.tgtKind = target, tgtLit
+	a.instr(line, isa.Instr{Op: op, Rs1: isa.RegCC})
+}
+
+// expandCall emits the target's function-call sequence.
+func (a *Assembler) expandCall(line int, ops []operand) {
+	if len(ops) != 1 || ops[0].kind != kindExpr {
+		a.errf(line, "call needs a function symbol")
+		return
+	}
+	a.jumpToLabel(line, isa.JL, ops[0].e)
+}
+
+// expandLA emits the target's address/constant materialization sequence.
+func (a *Assembler) expandLA(line int, ops []operand) {
+	if len(ops) != 2 || ops[0].kind != kindReg || ops[1].kind != kindExpr {
+		a.errf(line, "la needs a register and an expression")
+		return
+	}
+	rd, e := ops[0].reg, ops[1].e
+	if !rd.IsGPR() {
+		a.errf(line, "la destination must be a GPR")
+		return
+	}
+
+	if a.spec.Enc == isa.EncD16 {
+		if e.isConst() && e.mod == modNone && a.spec.FitsMVI(int32(e.off)) {
+			a.instr(line, isa.Instr{Op: isa.MVI, Rd: rd, Imm: int32(e.off), HasImm: true})
+			return
+		}
+		lit := a.instr(line, isa.Instr{Op: isa.LDC, Rd: isa.RegCC, Rs1: isa.NoReg})
+		lit.tgt, lit.tgtKind = e, tgtLit
+		if rd != isa.RegCC {
+			a.instr(line, isa.Instr{Op: isa.MV, Rd: rd, Rs1: isa.RegCC})
+		}
+		return
+	}
+
+	// DLXe: constant folding when the value is known now.
+	if e.isConst() && e.mod == modNone {
+		v := e.off
+		switch {
+		case v >= -32768 && v <= 32767:
+			a.instr(line, isa.Instr{Op: isa.MVI, Rd: rd, Imm: int32(v), HasImm: true})
+		case v >= 0 && v <= 0xFFFF:
+			a.instr(line, isa.Instr{Op: isa.ORI, Rd: rd, Rs1: isa.R(0), Imm: int32(v), HasImm: true})
+		default:
+			a.instr(line, isa.Instr{Op: isa.MVHI, Rd: rd,
+				Imm: int32(uint32(v) >> 16), HasImm: true})
+			if lo := uint32(v) & 0xFFFF; lo != 0 {
+				a.instr(line, isa.Instr{Op: isa.ORI, Rd: rd, Rs1: rd,
+					Imm: int32(lo), HasImm: true})
+			}
+		}
+		return
+	}
+	if e.mod != modNone {
+		a.errf(line, "la operand cannot carry a lo16/hi16/gprel modifier")
+		return
+	}
+	hi := a.instr(line, isa.Instr{Op: isa.MVHI, Rd: rd, HasImm: true})
+	hi.tgt, hi.tgtKind = expr{mod: modHi16, sym: e.sym, off: e.off}, tgtAbs
+	lo := a.instr(line, isa.Instr{Op: isa.ORI, Rd: rd, Rs1: rd, HasImm: true})
+	lo.tgt, lo.tgtKind = expr{mod: modLo16, sym: e.sym, off: e.off}, tgtAbs
+}

@@ -1,0 +1,245 @@
+package asm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBSSSection(t *testing.T) {
+	src := `
+	.data
+init: .word 7
+	.bss
+buf:  .space 100
+	.align 8
+big:  .space 8
+	.text
+_start:
+	trap 0
+	nop
+`
+	for _, spec := range []*isa.Spec{isa.D16(), isa.DLXe()} {
+		img := mustAssemble(t, src, spec)
+		// BSS is addressed after initialized data, 8-aligned.
+		if img.Symbols["buf"] != align(isa.DataBase+4, 8) {
+			t.Errorf("%s: buf at %#x", spec, img.Symbols["buf"])
+		}
+		if img.Symbols["big"]%8 != 0 {
+			t.Errorf("%s: big misaligned at %#x", spec, img.Symbols["big"])
+		}
+		// BSS contributes to BSS size, not to the binary.
+		if img.BSS < 108 {
+			t.Errorf("%s: BSS = %d", spec, img.BSS)
+		}
+		if img.Size() != len(img.Text)+4 {
+			t.Errorf("%s: size %d should exclude bss", spec, img.Size())
+		}
+	}
+}
+
+func TestBSSRejectsData(t *testing.T) {
+	src := ".bss\nx: .word 3\n"
+	if _, err := Assemble("t.s", src, isa.D16()); err == nil {
+		t.Fatal("expected .word-in-.bss error")
+	}
+}
+
+func TestHiLoGprelModifiers(t *testing.T) {
+	src := `
+	.data
+	.space 260
+v:  .word 99
+	.text
+_start:
+	mvhi r4, hi16(v)
+	ori  r4, r4, lo16(v)
+	mvi  r5, 0
+	addi r5, r5, gprel(v)
+	trap 0
+	nop
+`
+	img := mustAssemble(t, src, isa.DLXe())
+	ins := decodeText(t, img)
+	addr := img.Symbols["v"]
+	if got := uint32(ins[0].Imm)<<16 | uint32(ins[1].Imm); got != addr {
+		t.Errorf("hi16/lo16 compose to %#x, want %#x", got, addr)
+	}
+	if uint32(ins[3].Imm) != addr-isa.DataBase {
+		t.Errorf("gprel = %d, want %d", ins[3].Imm, addr-isa.DataBase)
+	}
+}
+
+func TestPseudoLiAndBAlias(t *testing.T) {
+	src := `
+	.text
+_start:
+	li r4, 42
+	b  done
+	nop
+done:
+	trap 0
+	nop
+	.pool
+`
+	for _, spec := range []*isa.Spec{isa.D16(), isa.DLXe()} {
+		img := mustAssemble(t, src, spec)
+		ins := decodeText(t, img)
+		if ins[0].Op != isa.MVI || ins[0].Imm != 42 {
+			t.Errorf("%s: li -> %v", spec, ins[0])
+		}
+		if ins[1].Op != isa.BR {
+			t.Errorf("%s: b -> %v", spec, ins[1])
+		}
+	}
+}
+
+func TestHalfAndByteData(t *testing.T) {
+	src := `
+	.data
+a: .byte 1, 2
+h: .half 513
+	.text
+_start:
+	trap 0
+	nop
+`
+	img := mustAssemble(t, src, isa.D16())
+	if img.Data[0] != 1 || img.Data[1] != 2 {
+		t.Error(".byte content wrong")
+	}
+	// .half auto-aligns to 2 (already aligned here).
+	if binary.LittleEndian.Uint16(img.Data[2:]) != 513 {
+		t.Error(".half content wrong")
+	}
+}
+
+func TestWordAutoAlignment(t *testing.T) {
+	// .word pads itself to 4 bytes, but a label BEFORE the directive
+	// binds to the unaligned cursor (standard assembler semantics — use
+	// .align before the label, as the compiler does).
+	src := `
+	.data
+c: .byte 1
+w: .word 7
+	.align 4
+x: .word 9
+	.text
+_start:
+	trap 0
+	nop
+`
+	img := mustAssemble(t, src, isa.D16())
+	if img.Symbols["w"] != isa.DataBase+1 {
+		t.Errorf("w at %#x, want the unaligned cursor %#x", img.Symbols["w"], isa.DataBase+1)
+	}
+	if binary.LittleEndian.Uint32(img.Data[4:]) != 7 {
+		t.Error("word content not placed at the aligned address")
+	}
+	if img.Symbols["x"] != isa.DataBase+8 {
+		t.Errorf("x at %#x, want %#x", img.Symbols["x"], isa.DataBase+8)
+	}
+}
+
+func TestCharAndStringEscapes(t *testing.T) {
+	src := `
+	.data
+s: .asciiz "a\tb\\\"c"
+	.text
+_start:
+	mvi r4, '\n'
+	mvi r5, '\''
+	trap 0
+	nop
+`
+	img := mustAssemble(t, src, isa.D16())
+	want := "a\tb\\\"c\x00"
+	if string(img.Data[:len(want)]) != want {
+		t.Errorf("escapes: %q, want %q", img.Data[:len(want)], want)
+	}
+	ins := decodeText(t, img)
+	if ins[0].Imm != '\n' || ins[1].Imm != '\'' {
+		t.Errorf("char literals: %v %v", ins[0], ins[1])
+	}
+}
+
+func TestExpressionOffsets(t *testing.T) {
+	src := `
+	.data
+tbl: .word 1, 2, 3
+	.text
+_start:
+	ld r4, gprel(tbl+8)(gp)
+	trap 0
+	nop
+`
+	img := mustAssemble(t, src, isa.DLXe())
+	ins := decodeText(t, img)
+	if ins[0].Imm != 8 {
+		t.Errorf("tbl+8 displacement = %d", ins[0].Imm)
+	}
+}
+
+func TestMultipleLabelsSameAddress(t *testing.T) {
+	src := `
+	.text
+a: b_: _start:
+	trap 0
+	nop
+`
+	img := mustAssemble(t, src, isa.D16())
+	if img.Symbols["a"] != img.Symbols["b_"] || img.Symbols["a"] != img.Symbols["_start"] {
+		t.Error("stacked labels differ")
+	}
+}
+
+func TestDLXeSubwordDisplacements(t *testing.T) {
+	// DLXe sub-word modes take displacements; D16's do not.
+	src := ".text\n_start:\n ldb r4, 3(r5)\n trap 0\n nop\n"
+	if _, err := Assemble("t.s", src, isa.DLXe()); err != nil {
+		t.Errorf("DLXe should allow ldb with displacement: %v", err)
+	}
+	if _, err := Assemble("t.s", src, isa.D16()); err == nil {
+		t.Error("D16 must reject offsettable subword access")
+	}
+}
+
+func TestPoolDeduplicatesMixedLiterals(t *testing.T) {
+	src := `
+	.text
+_start:
+	ldc r0, =99999
+	mv  r4, r0
+	ldc r0, =f
+	mv  r5, r0
+	ldc r0, =99999
+	trap 0
+	nop
+	.pool
+f:	ret
+	nop
+`
+	img := mustAssemble(t, src, isa.D16())
+	if img.PoolBytes != 8 { // 99999 and f, deduplicated
+		t.Errorf("pool bytes = %d, want 8", img.PoolBytes)
+	}
+}
+
+func TestTextInstrsExcludesPools(t *testing.T) {
+	src := `
+	.text
+_start:
+	ldc r0, =123456
+	trap 0
+	nop
+	.pool
+`
+	img := mustAssemble(t, src, isa.D16())
+	if img.TextInstrs != 3 {
+		t.Errorf("TextInstrs = %d, want 3", img.TextInstrs)
+	}
+	if len(img.Text) != 3*2+2+4 { // 3 instrs + 2 pad + 1 literal
+		t.Errorf("text bytes = %d", len(img.Text))
+	}
+}

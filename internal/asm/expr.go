@@ -1,0 +1,235 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// modifier adjusts how a symbolic expression value is materialized.
+type modifier uint8
+
+const (
+	modNone  modifier = iota
+	modLo16           // lo16(x): low 16 bits of the value
+	modHi16           // hi16(x): high 16 bits of the value
+	modGPRel          // gprel(x): value - DataBase (displacement off gp)
+)
+
+// expr is a linked value: an optional symbol plus a constant offset, under
+// an optional modifier. This covers everything the code generator and
+// runtime library need: plain constants, symbol addresses, symbol+offset,
+// and the lo16/hi16/gprel relocation forms.
+type expr struct {
+	mod modifier
+	sym string
+	off int64
+}
+
+func (e expr) String() string {
+	inner := ""
+	switch {
+	case e.sym == "":
+		inner = strconv.FormatInt(e.off, 10)
+	case e.off == 0:
+		inner = e.sym
+	case e.off > 0:
+		inner = fmt.Sprintf("%s+%d", e.sym, e.off)
+	default:
+		inner = fmt.Sprintf("%s%d", e.sym, e.off)
+	}
+	switch e.mod {
+	case modLo16:
+		return "lo16(" + inner + ")"
+	case modHi16:
+		return "hi16(" + inner + ")"
+	case modGPRel:
+		return "gprel(" + inner + ")"
+	}
+	return inner
+}
+
+// isConst reports whether the expression needs no symbol resolution.
+func (e expr) isConst() bool { return e.sym == "" }
+
+// eval computes the expression's value given a symbol resolver.
+func (e expr) eval(lookup func(string) (uint32, bool)) (int64, error) {
+	v := e.off
+	if e.sym != "" {
+		a, ok := lookup(e.sym)
+		if !ok {
+			return 0, fmt.Errorf("undefined symbol %q", e.sym)
+		}
+		v += int64(a)
+	}
+	switch e.mod {
+	case modLo16:
+		v = int64(uint32(v) & 0xFFFF)
+	case modHi16:
+		v = int64(uint32(v) >> 16)
+	case modGPRel:
+		v -= int64(isa.DataBase)
+	}
+	return v, nil
+}
+
+// parseExpr parses one expression operand:
+//
+//	expr    := [mod "("] term { ("+"|"-") number } [")"]
+//	term    := number | charlit | symbol
+//	number  := ["-"] (decimal | 0x hex)
+//	charlit := 'c' with the usual escapes
+func parseExpr(s string) (expr, error) {
+	s = strings.TrimSpace(s)
+	var e expr
+	for _, m := range []struct {
+		prefix string
+		mod    modifier
+	}{
+		{"lo16(", modLo16},
+		{"hi16(", modHi16},
+		{"gprel(", modGPRel},
+	} {
+		if strings.HasPrefix(s, m.prefix) && strings.HasSuffix(s, ")") {
+			e.mod = m.mod
+			s = strings.TrimSuffix(strings.TrimPrefix(s, m.prefix), ")")
+			break
+		}
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return e, fmt.Errorf("empty expression")
+	}
+
+	// Split off trailing +n / -n adjustments (right to left is fine since
+	// only integer adjustments are allowed after the leading term).
+	term := s
+	var adjust int64
+	for {
+		i := strings.LastIndexAny(term, "+-")
+		if i <= 0 {
+			break
+		}
+		// A '-' that is part of a leading negative number has index 0 and
+		// is excluded by i <= 0. Anything else splits term and offset.
+		numPart := term[i:]
+		n, err := strconv.ParseInt(strings.Replace(numPart, "+", "", 1), 0, 64)
+		if err != nil {
+			return e, fmt.Errorf("bad offset %q in expression %q", numPart, s)
+		}
+		adjust += n
+		term = term[:i]
+	}
+	term = strings.TrimSpace(term)
+
+	switch {
+	case term == "":
+		return e, fmt.Errorf("bad expression %q", s)
+	case term[0] == '\'':
+		c, err := parseCharLit(term)
+		if err != nil {
+			return e, err
+		}
+		e.off = int64(c) + adjust
+	case term[0] == '-' || (term[0] >= '0' && term[0] <= '9'):
+		n, err := strconv.ParseInt(term, 0, 64)
+		if err != nil {
+			return e, fmt.Errorf("bad number %q", term)
+		}
+		e.off = n + adjust
+	default:
+		if !validSymbol(term) {
+			return e, fmt.Errorf("bad symbol name %q", term)
+		}
+		e.sym = term
+		e.off = adjust
+	}
+	return e, nil
+}
+
+func validSymbol(s string) bool {
+	for i, c := range s {
+		switch {
+		case c == '_' || c == '.' || c == '$':
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+func parseCharLit(s string) (byte, error) {
+	if len(s) < 3 || s[0] != '\'' || s[len(s)-1] != '\'' {
+		return 0, fmt.Errorf("bad character literal %q", s)
+	}
+	body := s[1 : len(s)-1]
+	if body[0] != '\\' {
+		if len(body) != 1 {
+			return 0, fmt.Errorf("bad character literal %q", s)
+		}
+		return body[0], nil
+	}
+	if len(body) != 2 {
+		return 0, fmt.Errorf("bad escape %q", s)
+	}
+	switch body[1] {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	}
+	return 0, fmt.Errorf("unknown escape %q", s)
+}
+
+// unquoteString decodes a double-quoted .asciiz argument.
+func unquoteString(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("bad string literal %s", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("trailing backslash in %s", s)
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '0':
+			b.WriteByte(0)
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c in %s", body[i], s)
+		}
+	}
+	return b.String(), nil
+}

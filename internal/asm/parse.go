@@ -1,0 +1,167 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// operand is one parsed instruction operand.
+type operand struct {
+	kind operandKind
+	reg  isa.Reg // kindReg, and the base register of kindMem
+	e    expr    // kindExpr, kindMem (displacement), kindLit
+}
+
+type operandKind uint8
+
+const (
+	kindReg operandKind = iota
+	kindExpr
+	kindMem // expr(reg)
+	kindLit // =expr (literal-pool reference)
+)
+
+var regAliases = map[string]isa.Reg{
+	"lr": isa.RegLink,
+	"sp": isa.RegSP,
+	"gp": isa.RegGP,
+}
+
+func parseReg(s string) (isa.Reg, bool) {
+	if r, ok := regAliases[s]; ok {
+		return r, true
+	}
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'f') {
+		return isa.NoReg, false
+	}
+	n := 0
+	for _, c := range s[1:] {
+		if c < '0' || c > '9' {
+			return isa.NoReg, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 31 {
+			return isa.NoReg, false
+		}
+	}
+	if s[0] == 'f' {
+		return isa.F(n), true
+	}
+	return isa.R(n), true
+}
+
+func parseOperand(s string) (operand, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return operand{}, fmt.Errorf("empty operand")
+	}
+	if r, ok := parseReg(s); ok {
+		return operand{kind: kindReg, reg: r}, nil
+	}
+	if s[0] == '=' {
+		e, err := parseExpr(s[1:])
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{kind: kindLit, e: e}, nil
+	}
+	// expr(reg) memory form: find a trailing "(reg)" that is not part of a
+	// lo16(...)-style modifier call.
+	if strings.HasSuffix(s, ")") {
+		if i := strings.LastIndex(s, "("); i >= 0 {
+			if r, ok := parseReg(strings.TrimSpace(s[i+1 : len(s)-1])); ok {
+				dispStr := strings.TrimSpace(s[:i])
+				var disp expr
+				if dispStr != "" {
+					var err error
+					disp, err = parseExpr(dispStr)
+					if err != nil {
+						return operand{}, err
+					}
+				}
+				return operand{kind: kindMem, reg: r, e: disp}, nil
+			}
+		}
+	}
+	e, err := parseExpr(s)
+	if err != nil {
+		return operand{}, err
+	}
+	return operand{kind: kindExpr, e: e}, nil
+}
+
+// splitOperands splits on top-level commas (commas never appear inside the
+// supported operand forms except within character literals).
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	inChar := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inChar:
+			if c == '\'' && s[i-1] != '\\' {
+				inChar = false
+			}
+		case c == '\'':
+			inChar = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if strings.TrimSpace(s[start:]) != "" || len(out) > 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// stripComment removes ; or # comments, respecting string and character
+// literals.
+func stripComment(line string) string {
+	inStr, inChar := false, false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inStr:
+			if c == '"' && line[i-1] != '\\' {
+				inStr = false
+			}
+		case inChar:
+			if c == '\'' && line[i-1] != '\\' {
+				inChar = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '\'':
+			inChar = true
+		case c == ';' || c == '#':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// mnemonic resolves an instruction mnemonic, which may carry a condition
+// suffix (cmp.lt, cmp.sf.le) or be an operation whose name itself contains
+// a dot (add.sf, si2sf).
+func mnemonic(tok string) (isa.Op, isa.Cond, bool) {
+	if op := isa.OpByName(tok); op != isa.BAD {
+		return op, isa.CondNone, true
+	}
+	if i := strings.LastIndex(tok, "."); i > 0 {
+		base, suffix := tok[:i], tok[i+1:]
+		if op := isa.OpByName(base); op != isa.BAD {
+			if c := isa.CondByName(suffix); c != isa.CondNone {
+				return op, c, true
+			}
+		}
+	}
+	return isa.BAD, isa.CondNone, false
+}

@@ -1,0 +1,70 @@
+// Package bench provides the paper's benchmark suite (Table 2),
+// re-written in MC and scaled to simulator-friendly problem sizes.
+//
+// Every program prints a deterministic checksum, so one expected output
+// validates all five compiler configurations; the three "cache
+// benchmarks" (assem, ipl, latex) are the programs the paper's Section
+// 4.1 uses for its cache studies, with instruction working sets large
+// enough to exercise 1–16 KiB instruction caches.
+package bench
+
+// Benchmark is one suite program.
+type Benchmark struct {
+	Name string
+	// Desc matches the paper's Table 2 description.
+	Desc string
+	// Source is the MC program text.
+	Source string
+	// Expect is the exact simulator output (empty = only cross-config
+	// agreement is checked).
+	Expect string
+	// MaxInstrs bounds the run (runaway guard).
+	MaxInstrs int64
+	// CacheBench marks the programs used for the cache experiments.
+	CacheBench bool
+	// FP marks floating-point-dominated programs.
+	FP bool
+}
+
+// All returns the full suite in the paper's Table 2 order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		Ackermann(),
+		Assem(),
+		Bubblesort(),
+		Queens(),
+		Quicksort(),
+		Towers(),
+		Grep(),
+		Linpack(),
+		Matrix(),
+		Dhrystone(),
+		Pi(),
+		Solver(),
+		Latex(),
+		IPL(),
+		Whetstone(),
+	}
+}
+
+// ByName returns the named benchmark or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// CacheBenchmarks returns the three programs the paper's cache studies
+// use (assem, ipl, latex).
+func CacheBenchmarks() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range All() {
+		if b.CacheBench {
+			out = append(out, b)
+		}
+	}
+	return out
+}

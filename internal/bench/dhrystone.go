@@ -1,0 +1,198 @@
+package bench
+
+// Dhrystone recreates the synthetic integer benchmark's mix: record-ish
+// assignment (via parallel arrays, since MC has no structs — see
+// DESIGN.md), string copy/compare on 30-char buffers, enumerations,
+// nested function calls and global/local integer arithmetic, iterated a
+// fixed number of times.
+func Dhrystone() *Benchmark {
+	return &Benchmark{
+		Name:      "dhrystone",
+		Desc:      "The synthetic benchmark.",
+		MaxInstrs: 100_000_000,
+		Source: `
+/* "records" as parallel arrays: [0] and [1] are the two live records */
+int rec_discr[4];
+int rec_enum[4];
+int rec_int[4];
+char rec_str[124];   /* 4 x 31 */
+
+int int_glob;
+int bool_glob;
+char ch1_glob, ch2_glob;
+int arr1[50];
+int arr2[2500];      /* 50 x 50 */
+
+char str1[31] = "DHRYSTONE PROGRAM, 1'ST STRING";
+char str2[31] = "DHRYSTONE PROGRAM, 2'ND STRING";
+char str3[31] = "DHRYSTONE PROGRAM, 3'RD STRING";
+
+int strcpy_(char *dst, char *src) {
+	int i = 0;
+	while (src[i]) { dst[i] = src[i]; i++; }
+	dst[i] = 0;
+	return i;
+}
+
+int strcmp_(char *a, char *b) {
+	int i = 0;
+	while (a[i] && a[i] == b[i]) i++;
+	return a[i] - b[i];
+}
+
+int func1(int ch1, int ch2) {
+	int ch1_loc = ch1;
+	int ch2_loc = ch1_loc;
+	if (ch2_loc != ch2) return 0;
+	ch2_glob = ch1_loc;
+	return 1;
+}
+
+int func2(char *s1, char *s2) {
+	int int_loc = 2;
+	int ch_loc = 'A';
+	while (int_loc <= 2) {
+		if (func1(s1[int_loc], s2[int_loc + 1]) == 0) {
+			ch_loc = 'A';
+			int_loc += 1;
+		} else break;
+	}
+	if (ch_loc >= 'W' && ch_loc < 'Z') int_loc = 7;
+	if (ch_loc == 'R') return 1;
+	if (strcmp_(s1, s2) > 0) {
+		int_loc += 7;
+		int_glob = int_loc;
+		return 1;
+	}
+	return 0;
+}
+
+int func3(int e) { return e == 2; }
+
+int proc6(int e_in) {
+	int e_out = e_in;
+	if (!func3(e_in)) e_out = 3;
+	if (e_in == 0) e_out = 0;
+	else if (e_in == 1) { if (int_glob > 100) e_out = 0; else e_out = 3; }
+	else if (e_in == 2) e_out = 1;
+	else if (e_in == 4) e_out = 2;
+	return e_out;
+}
+
+int proc7(int a, int b) { return b + a + 2; }
+
+int proc8(int *a1, int *a2, int idx, int val) {
+	int loc = idx + 5;
+	a1[loc] = val;
+	a1[loc + 1] = a1[loc];
+	a1[loc + 30] = loc;
+	int i;
+	for (i = loc; i <= loc + 1; i++) a2[loc * 50 + i] = loc;
+	a2[loc * 50 + loc - 1] += 1;
+	a2[(loc + 20) * 50 + loc] = a1[loc];
+	int_glob = 5;
+	return 0;
+}
+
+int proc3(int recid) {
+	if (rec_discr[0] == 0) rec_int[recid] = proc7(10, int_glob);
+	return 0;
+}
+
+int proc1(int recid) {
+	/* copy record recid -> 2 (the "next record") */
+	rec_discr[2] = rec_discr[recid];
+	rec_enum[2] = rec_enum[recid];
+	rec_int[2] = rec_int[recid];
+	strcpy_(&rec_str[62], &rec_str[recid * 31]);
+	rec_int[2] = 5;
+	proc3(2);
+	if (rec_discr[2] == 0) {
+		rec_int[2] = 6;
+		rec_enum[2] = proc6(rec_enum[recid]);
+		rec_int[2] = proc7(rec_int[2], 10);
+	} else {
+		rec_discr[recid] = rec_discr[2];
+	}
+	return 0;
+}
+
+int proc2(int int_io) {
+	int int_loc = int_io + 10;
+	int enum_loc = 0;
+	while (1) {
+		if (ch1_glob == 'A') {
+			int_loc -= 1;
+			int_io = int_loc - int_glob;
+			enum_loc = 1;
+		}
+		if (enum_loc == 1) break;
+	}
+	return int_io;
+}
+
+int proc4() {
+	int bool_loc = ch1_glob == 'A';
+	bool_loc = bool_loc | bool_glob;
+	ch2_glob = 'B';
+	return 0;
+}
+
+int proc5() {
+	ch1_glob = 'A';
+	bool_glob = 0;
+	return 0;
+}
+
+int main() {
+	int runs = 1500;
+	int i, run;
+	int int1, int2, int3;
+	char strloc[31];
+
+	/* init */
+	rec_discr[0] = 0; rec_enum[0] = 2; rec_int[0] = 40;
+	strcpy_(&rec_str[0], str1);
+	rec_discr[1] = 0; rec_enum[1] = 1; rec_int[1] = 30;
+	strcpy_(&rec_str[31], str2);
+	arr2[8 * 50 + 7] = 10;
+
+	for (run = 1; run <= runs; run++) {
+		proc5();
+		proc4();
+		int1 = 2;
+		int2 = 3;
+		strcpy_(strloc, str3);
+		int3 = 0;
+		if (func2(str1, strloc) == 0) int3 = proc7(int1, int2);
+		proc8(arr1, arr2, int1, int3);
+		proc1(0);
+		for (i = 'A'; i <= 'C'; i++) {
+			if (rec_enum[1] == func1(i, 'C')) {
+				int2 = proc6(0);
+			}
+		}
+		int3 = int2 * int1;
+		int2 = int3 / 3;
+		int2 = 7 * (int3 - int2) - int1;
+		int1 = proc2(int1);
+	}
+
+	print_str("ig=");
+	print_int(int_glob);
+	print_str(" i1=");
+	print_int(int1);
+	print_str(" i2=");
+	print_int(int2);
+	print_str(" i3=");
+	print_int(int3);
+	print_str(" ri2=");
+	print_int(rec_int[2]);
+	print_str(" c1=");
+	print_char(ch1_glob);
+	print_char('\n');
+	return 0;
+}
+`,
+	}
+}

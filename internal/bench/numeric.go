@@ -1,0 +1,462 @@
+package bench
+
+// The numeric benchmarks: linpack, matrix, pi, solver, whetstone.
+
+// Linpack is a scaled LU factorization with partial pivoting plus a
+// residual check — the structure of the linear programming / linpack
+// benchmark (daxpy-dominated double-precision inner loops).
+func Linpack() *Benchmark {
+	return &Benchmark{
+		Name:      "linpack",
+		Desc:      "The linear programming benchmark (LU factorization, daxpy kernels).",
+		MaxInstrs: 400_000_000,
+		FP:        true,
+		Source: `
+double a[1600];    /* 40 x 40, column major: a(i,j) = a[j*40 + i] */
+double b[40];
+double x[40];
+int piv[40];
+int n;
+
+int seed;
+int rnd() {
+	seed = seed * 1309 + 13849;
+	if (seed < 0) seed = -seed;
+	return seed % 1000;
+}
+
+/* dy[0..m) += da * dx[0..m) — the daxpy kernel, linpack's hot loop */
+int daxpy(int m, double da, double *dx, double *dy) {
+	int i;
+	if (da == 0.0) return 0;
+	for (i = 0; i < m; i++) dy[i] += da * dx[i];
+	return 0;
+}
+
+int idamax(int m, double *dx) {
+	int i, best = 0;
+	double dmax = dx[0];
+	if (dmax < 0.0) dmax = -dmax;
+	for (i = 1; i < m; i++) {
+		double v = dx[i];
+		if (v < 0.0) v = -v;
+		if (v > dmax) { dmax = v; best = i; }
+	}
+	return best;
+}
+
+int matgen() {
+	int i, j;
+	for (j = 0; j < n; j++)
+		for (i = 0; i < n; i++) {
+			a[j * 40 + i] = rnd();
+			a[j * 40 + i] = a[j * 40 + i] / 1000.0 - 0.5;
+		}
+	/* b = A * ones, so the solution is all ones */
+	for (i = 0; i < n; i++) b[i] = 0.0;
+	for (j = 0; j < n; j++)
+		for (i = 0; i < n; i++) b[i] += a[j * 40 + i];
+	return 0;
+}
+
+/* LU factorization with partial pivoting (dgefa, column oriented) */
+int dgefa() {
+	int k, i, j;
+	for (k = 0; k < n - 1; k++) {
+		int l = idamax(n - k, &a[k * 40 + k]) + k;
+		piv[k] = l;
+		if (a[k * 40 + l] != 0.0) {
+			if (l != k) {
+				double t = a[k * 40 + l];
+				a[k * 40 + l] = a[k * 40 + k];
+				a[k * 40 + k] = t;
+			}
+			double t = -1.0 / a[k * 40 + k];
+			for (i = k + 1; i < n; i++) a[k * 40 + i] *= t;
+			for (j = k + 1; j < n; j++) {
+				double tj = a[j * 40 + l];
+				if (l != k) {
+					a[j * 40 + l] = a[j * 40 + k];
+					a[j * 40 + k] = tj;
+				}
+				daxpy(n - k - 1, tj, &a[k * 40 + k + 1], &a[j * 40 + k + 1]);
+			}
+		}
+	}
+	piv[n - 1] = n - 1;
+	return 0;
+}
+
+/* solve using the factors (dgesl) */
+int dgesl() {
+	int k, i;
+	for (i = 0; i < n; i++) x[i] = b[i];
+	for (k = 0; k < n - 1; k++) {
+		int l = piv[k];
+		double t = x[l];
+		if (l != k) { x[l] = x[k]; x[k] = t; }
+		daxpy(n - k - 1, t, &a[k * 40 + k + 1], &x[k + 1]);
+	}
+	for (k = n - 1; k >= 0; k--) {
+		x[k] = x[k] / a[k * 40 + k];
+		double t = -x[k];
+		daxpy(k, t, &a[k * 40], &x[0]);
+	}
+	return 0;
+}
+
+int main() {
+	n = 40;
+	seed = 74755;
+	matgen();
+	dgefa();
+	dgesl();
+	/* residual check: x should be all ones */
+	double err = 0.0;
+	int i;
+	for (i = 0; i < n; i++) {
+		double d = x[i] - 1.0;
+		if (d < 0.0) d = -d;
+		if (d > err) err = d;
+	}
+	print_str("n=40 maxerr_lt_1em6=");
+	print_int(err < 0.000001);
+	print_str(" x0x39ok=");
+	print_int(x[0] > 0.99 && x[39] > 0.99);
+	print_char('\n');
+	return 0;
+}
+`,
+	}
+}
+
+// Matrix is dense Gaussian elimination on a double matrix (the paper's
+// "matrix" entry) via determinant computation.
+func Matrix() *Benchmark {
+	return &Benchmark{
+		Name:      "matrix",
+		Desc:      "Gaussian elimination.",
+		MaxInstrs: 200_000_000,
+		FP:        true,
+		Source: `
+double m[1024];   /* 32 x 32 */
+int n;
+
+int seed;
+int rnd() {
+	seed = seed * 1309 + 13849;
+	if (seed < 0) seed = -seed;
+	return seed % 100;
+}
+
+int main() {
+	n = 32;
+	seed = 1234;
+	int i, j, k;
+	int idx = 0;
+	for (i = 0; i < n; i++)
+		for (j = 0; j < n; j++) {
+			m[idx] = rnd();
+			m[idx] = m[idx] / 10.0;
+			if (i == j) m[idx] += 40.0;   /* diagonally dominant */
+			idx++;
+		}
+	/* forward elimination, accumulating the determinant's magnitude class */
+	int swaps = 0;
+	for (k = 0; k < n - 1; k++) {
+		/* pick pivot */
+		int p = k;
+		double best = m[k * 32 + k];
+		if (best < 0.0) best = -best;
+		for (i = k + 1; i < n; i++) {
+			double v = m[i * 32 + k];
+			if (v < 0.0) v = -v;
+			if (v > best) { best = v; p = i; }
+		}
+		if (p != k) {
+			swaps++;
+			for (j = k; j < n; j++) {
+				double t = m[p * 32 + j];
+				m[p * 32 + j] = m[k * 32 + j];
+				m[k * 32 + j] = t;
+			}
+		}
+		for (i = k + 1; i < n; i++) {
+			double f = m[i * 32 + k] / m[k * 32 + k];
+			for (j = k; j < n; j++) m[i * 32 + j] -= f * m[k * 32 + j];
+		}
+	}
+	/* all pivots positive and large -> well-conditioned */
+	int okpiv = 0;
+	for (k = 0; k < n; k++)
+		if (m[k * 32 + k] > 1.0 || m[k * 32 + k] < -1.0) okpiv++;
+	print_str("n=32 swaps=");
+	print_int(swaps);
+	print_str(" okpiv=");
+	print_int(okpiv);
+	print_char('\n');
+	return 0;
+}
+`,
+	}
+}
+
+// Pi computes digits of pi with the integer spigot algorithm —
+// divide/remainder dominated integer code (exercises the software
+// divide runtime heavily).
+func Pi() *Benchmark {
+	return &Benchmark{
+		Name:      "pi",
+		Desc:      "Computes digits of pi (integer spigot algorithm).",
+		Expect:    "3.14159265358979323846264338327950288419716939937510582097494\n",
+		MaxInstrs: 400_000_000,
+		Source: `
+/* Rabinowitz-Wagon spigot, base 10^4 (the classic obfuscated-C spigot,
+   written out straight) */
+int f[300];
+
+int main() {
+	int a = 10000;
+	int c = 210;          /* 14 * 15 -> 15 groups of 4 digits = 60 digits */
+	int b, d, e, g;
+	for (b = 0; b < c; b++) f[b] = a / 5;
+	e = 0;
+	int first = 1;
+	for (; c > 0; c -= 14) {
+		d = 0;
+		g = c * 2;
+		b = c;
+		while (1) {
+			d += f[b] * a;
+			g--;
+			f[b] = d % g;
+			d = d / g;
+			g--;
+			b--;
+			if (b == 0) break;
+			d *= b;
+		}
+		int group = e + d / a;
+		e = d % a;
+		int d3 = group / 1000 % 10;
+		int d2 = group / 100 % 10;
+		int d1 = group / 10 % 10;
+		int d0 = group % 10;
+		print_int(d3);
+		if (first) { print_char('.'); first = 0; }
+		print_int(d2);
+		print_int(d1);
+		print_int(d0);
+	}
+	print_char('\n');
+	return 0;
+}
+`,
+	}
+}
+
+// Solver is a Newton–Raphson iterative solver for a family of cubics.
+func Solver() *Benchmark {
+	return &Benchmark{
+		Name:      "solver",
+		Desc:      "Newton-Raphson iterative solver.",
+		MaxInstrs: 200_000_000,
+		FP:        true,
+		Source: `
+/* solve x^3 + b x - c = 0 by Newton iteration */
+double solve(double b, double c) {
+	double x = 1.0;
+	int it = 0;
+	while (it < 200) {
+		double f = x * x * x + b * x - c;
+		double fp = 3.0 * x * x + b;
+		double step = f / fp;
+		x = x - step;
+		if (step < 0.0) step = -step;
+		if (step < 0.0000000001) return x;
+		it++;
+	}
+	return x;
+}
+
+int main() {
+	double sum = 0.0;
+	int i;
+	for (i = 1; i <= 400; i++) {
+		double b = i;
+		b = b / 10.0;
+		double c = i;
+		sum += solve(b, c);
+	}
+	print_str("sum=");
+	print_double(sum);
+	print_char('\n');
+	return 0;
+}
+`,
+	}
+}
+
+// Whetstone is the classic synthetic floating-point benchmark: its
+// module structure (array ops, trig-like polynomial kernels, conditional
+// jumps, procedure calls) re-created in MC with Taylor-series sin/cos/
+// exp/log stand-ins for the missing math library.
+func Whetstone() *Benchmark {
+	return &Benchmark{
+		Name:      "whetstone",
+		Desc:      "The synthetic floating point benchmark.",
+		MaxInstrs: 400_000_000,
+		FP:        true,
+		Source: `
+double e1[4];
+double t, t1, t2;
+int j, k, l;
+
+/* range-reduced Taylor approximations stand in for libm */
+double sin_(double x) {
+	int k = (int)(x / 6.28318530717959);
+	x -= k * 6.28318530717959;
+	while (x > 3.14159265358979) x -= 6.28318530717959;
+	while (x < -3.14159265358979) x += 6.28318530717959;
+	double x2 = x * x;
+	return x * (1.0 - x2 / 6.0 + x2 * x2 / 120.0 - x2 * x2 * x2 / 5040.0);
+}
+
+double cos_(double x) {
+	return sin_(x + 1.5707963267949);
+}
+
+double atan_(double x) {
+	/* |x| <= 1 Taylor; fold larger magnitudes on both sides */
+	int inv = 0;
+	if (x > 1.0) { x = 1.0 / x; inv = 1; }
+	else if (x < -1.0) { x = 1.0 / x; inv = -1; }
+	double x2 = x * x;
+	double r = x * (1.0 - x2 / 3.0 + x2 * x2 / 5.0 - x2 * x2 * x2 / 7.0);
+	if (inv > 0) r = 1.5707963267949 - r;
+	if (inv < 0) r = -1.5707963267949 - r;
+	return r;
+}
+
+double exp_(double x) {
+	double r = 1.0, term = 1.0;
+	int i;
+	for (i = 1; i < 12; i++) {
+		term = term * x / i;
+		r += term;
+	}
+	return r;
+}
+
+double log_(double x) {
+	/* ln via atanh series around 1 */
+	double y = (x - 1.0) / (x + 1.0);
+	double y2 = y * y;
+	return 2.0 * y * (1.0 + y2 / 3.0 + y2 * y2 / 5.0 + y2 * y2 * y2 / 7.0);
+}
+
+double sqrt_(double x) {
+	double g = x;
+	if (g < 1.0) g = 1.0;
+	int i;
+	for (i = 0; i < 20; i++) g = 0.5 * (g + x / g);
+	return g;
+}
+
+int p3(double x, double y) {
+	x = t * (x + y);
+	y = t * (x + y);
+	t2 = 2.0;
+	e1[2] = (x + y) / t2;
+	return 0;
+}
+
+int p0() {
+	e1[j] = e1[k];
+	e1[k] = e1[l];
+	e1[l] = e1[j];
+	return 0;
+}
+
+int main() {
+	int loops = 12;
+	t = 0.499975;
+	t1 = 0.50025;
+	t2 = 2.0;
+	int i, ix;
+	double x, y, z;
+
+	/* module 1: simple identifiers */
+	double x1 = 1.0, x2 = -1.0, x3 = -1.0, x4 = -1.0;
+	for (i = 0; i < loops * 10; i++) {
+		x1 = (x1 + x2 + x3 - x4) * t;
+		x2 = (x1 + x2 - x3 + x4) * t;
+		x3 = (x1 - x2 + x3 + x4) * t;
+		x4 = (-x1 + x2 + x3 + x4) * t;
+	}
+
+	/* module 2: array elements */
+	e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+	for (i = 0; i < loops * 12; i++) {
+		e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+		e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+		e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+		e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t;
+	}
+
+	/* module 4: conditional jumps */
+	j = 1;
+	for (i = 0; i < loops * 60; i++) {
+		if (j == 1) j = 2; else j = 3;
+		if (j > 2) j = 0; else j = 1;
+		if (j < 1) j = 1; else j = 0;
+	}
+
+	/* module 6: integer arithmetic with array access */
+	j = 1; k = 2; l = 3;
+	for (i = 0; i < loops * 80; i++) {
+		j = j * (k - j) * (l - k);
+		k = l * k - (l - j) * k;
+		l = (l - k) * (k + j);
+		e1[l - 2] = j + k + l;
+		e1[k - 2] = j * k * l;
+	}
+
+	/* module 7: trig functions */
+	x = 0.5; y = 0.5;
+	for (i = 0; i < loops * 6; i++) {
+		x = t * atan_(t2 * sin_(x) * cos_(x) / (cos_(x + y) + cos_(x - y) - 1.0));
+		y = t * atan_(t2 * sin_(y) * cos_(y) / (cos_(x + y) + cos_(x - y) - 1.0));
+	}
+
+	/* module 8: procedure calls */
+	x = 1.0; y = 1.0; z = 1.0;
+	for (i = 0; i < loops * 30; i++) {
+		p3(x, y);
+		z = e1[2];
+	}
+
+	/* module 9: array references via globals */
+	j = 1; k = 2; l = 3;
+	e1[0] = 1.0; e1[1] = 2.0; e1[2] = 3.0;
+	for (i = 0; i < loops * 40; i++) p0();
+
+	/* module 11: standard functions */
+	x = 0.75;
+	for (i = 0; i < loops * 8; i++)
+		x = sqrt_(exp_(log_(x + 1.0) / t1));
+
+	print_str("x1..4=");
+	print_int((x1 < 1.0 && x1 > 0.99) + (x2 > -1.0) + (x3 > -1.0) + (x4 > -1.0));
+	print_str(" e1ok=");
+	print_int(e1[0] != 0.0);
+	print_str(" x=");
+	print_double(x);
+	print_str(" z=");
+	print_double(z);
+	print_char('\n');
+	return 0;
+}
+`,
+	}
+}

@@ -1,0 +1,216 @@
+package bench
+
+// The Stanford-suite style programs: ackermann, bubblesort, queens,
+// quicksort, towers.
+
+// Ackermann computes the Ackermann function (heavily recursive integer
+// control flow; the paper's smallest program).
+func Ackermann() *Benchmark {
+	return &Benchmark{
+		Name:      "ackermann",
+		Desc:      "Computes the Ackermann function.",
+		Expect:    "ack(2,3)=9 ack(3,3)=61 ack(2,8)=19\n",
+		MaxInstrs: 10_000_000,
+		Source: `
+int ack(int m, int n) {
+	if (m == 0) return n + 1;
+	if (n == 0) return ack(m - 1, 1);
+	return ack(m - 1, ack(m, n - 1));
+}
+
+int main() {
+	print_str("ack(2,3)=");
+	print_int(ack(2, 3));
+	print_str(" ack(3,3)=");
+	print_int(ack(3, 3));
+	print_str(" ack(2,8)=");
+	print_int(ack(2, 8));
+	print_char('\n');
+	return 0;
+}
+`,
+	}
+}
+
+// Bubblesort sorts pseudo-random integers (the Stanford suite's sort).
+func Bubblesort() *Benchmark {
+	return &Benchmark{
+		Name:      "bubblesort",
+		Desc:      "Sorting program from the Stanford suite.",
+		Expect:    "sorted=1 sum=3155944 first=26 last=16352\n",
+		MaxInstrs: 100_000_000,
+		Source: `
+int a[400];
+int seed;
+
+int rnd() {
+	seed = seed * 1309 + 13849;
+	if (seed < 0) seed = -seed;
+	return seed % 16384;
+}
+
+int main() {
+	int n = 400, i, j;
+	seed = 74755;
+	for (i = 0; i < n; i++) a[i] = rnd();
+	for (i = 0; i < n - 1; i++)
+		for (j = 0; j < n - 1 - i; j++)
+			if (a[j] > a[j + 1]) {
+				int t = a[j];
+				a[j] = a[j + 1];
+				a[j + 1] = t;
+			}
+	int ok = 1, sum = 0;
+	for (i = 0; i < n; i++) {
+		if (i > 0 && a[i - 1] > a[i]) ok = 0;
+		sum += a[i];
+	}
+	print_str("sorted=");
+	print_int(ok);
+	print_str(" sum=");
+	print_int(sum);
+	print_str(" first=");
+	print_int(a[0]);
+	print_str(" last=");
+	print_int(a[n - 1]);
+	print_char('\n');
+	return 0;
+}
+`,
+	}
+}
+
+// Queens solves the Stanford eight-queens problem (backtracking).
+func Queens() *Benchmark {
+	return &Benchmark{
+		Name:      "queens",
+		Desc:      "The Stanford eight-queens program.",
+		Expect:    "solutions=92\n",
+		MaxInstrs: 20_000_000,
+		Source: `
+int col[8];
+int diag1[15];
+int diag2[15];
+int count;
+
+int place(int row) {
+	int c;
+	for (c = 0; c < 8; c++) {
+		if (col[c] == 0 && diag1[row + c] == 0 && diag2[row - c + 7] == 0) {
+			col[c] = 1;
+			diag1[row + c] = 1;
+			diag2[row - c + 7] = 1;
+			if (row == 7) count++;
+			else place(row + 1);
+			col[c] = 0;
+			diag1[row + c] = 0;
+			diag2[row - c + 7] = 0;
+		}
+	}
+	return 0;
+}
+
+int main() {
+	count = 0;
+	place(0);
+	print_str("solutions=");
+	print_int(count);
+	print_char('\n');
+	return 0;
+}
+`,
+	}
+}
+
+// Quicksort is the Stanford recursive quicksort.
+func Quicksort() *Benchmark {
+	return &Benchmark{
+		Name:      "quicksort",
+		Desc:      "The Stanford quicksort program.",
+		Expect:    "sorted=1 sum=8078166 median=7750\n",
+		MaxInstrs: 50_000_000,
+		Source: `
+int a[1000];
+int seed;
+
+int rnd() {
+	seed = seed * 1309 + 13849;
+	if (seed < 0) seed = -seed;
+	return seed % 16384;
+}
+
+int qsort_(int lo, int hi) {
+	int i = lo, j = hi;
+	int pivot = a[(lo + hi) / 2];
+	while (i <= j) {
+		while (a[i] < pivot) i++;
+		while (a[j] > pivot) j--;
+		if (i <= j) {
+			int t = a[i]; a[i] = a[j]; a[j] = t;
+			i++; j--;
+		}
+	}
+	if (lo < j) qsort_(lo, j);
+	if (i < hi) qsort_(i, hi);
+	return 0;
+}
+
+int main() {
+	int n = 1000, i;
+	seed = 74755;
+	for (i = 0; i < n; i++) a[i] = rnd();
+	qsort_(0, n - 1);
+	int ok = 1, sum = 0;
+	for (i = 0; i < n; i++) {
+		if (i > 0 && a[i - 1] > a[i]) ok = 0;
+		sum += a[i];
+	}
+	print_str("sorted=");
+	print_int(ok);
+	print_str(" sum=");
+	print_int(sum);
+	print_str(" median=");
+	print_int(a[n / 2]);
+	print_char('\n');
+	return 0;
+}
+`,
+	}
+}
+
+// Towers is the towers-of-Hanoi program.
+func Towers() *Benchmark {
+	return &Benchmark{
+		Name:      "towers",
+		Desc:      "The Stanford towers of Hanoi program.",
+		Expect:    "moves=65535 check=3\n",
+		MaxInstrs: 100_000_000,
+		Source: `
+int moves;
+int peg[3];
+
+int hanoi(int n, int from, int to, int via) {
+	if (n == 0) return 0;
+	hanoi(n - 1, from, via, to);
+	peg[from]--;
+	peg[to]++;
+	moves++;
+	hanoi(n - 1, via, to, from);
+	return 0;
+}
+
+int main() {
+	int n = 16;
+	moves = 0;
+	peg[0] = n; peg[1] = 0; peg[2] = 0;
+	hanoi(n, 0, 2, 1);
+	print_str("moves=");
+	print_int(moves);
+	print_str(" check=");
+	print_int((peg[2] == n) + (peg[0] == 0) + (peg[1] == 0));
+	print_char('\n');
+	return 0;
+}
+`,
+	}
+}

@@ -1,0 +1,430 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// grepText generates a deterministic corpus for the grep benchmark.
+func grepText() string {
+	words := []string{
+		"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+		"pack", "my", "box", "with", "five", "dozen", "liquor", "jugs",
+		"sphinx", "of", "black", "quartz", "judge", "vow", "instruction",
+		"register", "pipeline", "cache", "memory", "fetch", "decode",
+		"density", "format", "sixteen", "thirty", "two", "bit",
+	}
+	var b strings.Builder
+	seed := 12345
+	for b.Len() < 6000 {
+		seed = (seed*1103515 + 12345) & 0x7FFFFFFF
+		b.WriteString(words[seed%len(words)])
+		if seed%7 == 0 {
+			b.WriteByte('\n')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+// Grep searches a corpus for several patterns, like the BSD utility's
+// inner loop (byte loads, compare-heavy inner loops).
+func Grep() *Benchmark {
+	text := grepText()
+	src := fmt.Sprintf(`
+char text[%d] = %s;
+char pat0[12] = "instruction";
+char pat1[9] = "pipeline";
+char pat2[6] = "cache";
+char pat3[8] = "quartz";
+
+int matches(char *t, int n, char *p) {
+	int count = 0;
+	int plen = 0;
+	while (p[plen]) plen++;
+	int i;
+	for (i = 0; i + plen <= n; i++) {
+		int j = 0;
+		while (j < plen && t[i + j] == p[j]) j++;
+		if (j == plen) count++;
+	}
+	return count;
+}
+
+int main() {
+	int n = 0;
+	while (text[n]) n++;
+	print_str("len=");
+	print_int(n);
+	print_str(" m0=");
+	print_int(matches(text, n, pat0));
+	print_str(" m1=");
+	print_int(matches(text, n, pat1));
+	print_str(" m2=");
+	print_int(matches(text, n, pat2));
+	print_str(" m3=");
+	print_int(matches(text, n, pat3));
+	print_char('\n');
+	return 0;
+}
+`, len(text)+1, quoteMC(text))
+	return &Benchmark{
+		Name:      "grep",
+		Desc:      "The Unix utility from the BSD sources (pattern search).",
+		MaxInstrs: 50_000_000,
+		Source:    src,
+	}
+}
+
+// quoteMC renders a Go string as an MC string literal.
+func quoteMC(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// assemInput is the toy assembly program the assem benchmark assembles.
+func assemInput() string {
+	var b strings.Builder
+	seed := 99
+	ops := []string{"add", "sub", "and", "or", "xor", "shl", "shr", "ld", "st", "mvi"}
+	for i := 0; i < 260; i++ {
+		seed = (seed*2531011 + 13849) & 0x7FFFFFFF
+		if i%13 == 0 {
+			fmt.Fprintf(&b, "L%d:\n", i/13)
+		}
+		if i%29 == 0 {
+			fmt.Fprintf(&b, ".word %d\n", seed%10000)
+		}
+		if i%41 == 0 {
+			fmt.Fprintf(&b, ".space %d\n", seed%4+1)
+		}
+		op := ops[seed%len(ops)]
+		switch op {
+		case "ld", "st":
+			fmt.Fprintf(&b, "%s r%d r%d %d+%d\n", op, seed%8, (seed/8)%8, seed%32, seed%16)
+		case "mvi":
+			fmt.Fprintf(&b, "mvi r%d %d\n", seed%8, seed%256)
+		default:
+			fmt.Fprintf(&b, "%s r%d r%d r%d\n", op, seed%8, (seed/8)%8, (seed/64)%8)
+		}
+		if seed%17 == 0 {
+			fmt.Fprintf(&b, "br L%d\n", seed%(i/13+1))
+		}
+	}
+	return b.String()
+}
+
+// Assem is a real two-pass assembler for a toy ISA, written in MC: it
+// tokenizes, builds a symbol table, resolves branches and encodes 32-bit
+// words. String/table processing with realistic branchy code — one of the
+// paper's cache benchmarks.
+func Assem() *Benchmark {
+	input := assemInput()
+	src := fmt.Sprintf(`
+char input[%d] = %s;
+
+char labname[128];  /* 32 labels x 4 chars */
+int labaddr[32];
+int nlabels;
+
+int outwords[600];
+int nout;
+
+int pos;
+
+int opnames[10];    /* packed 2-char opcode keys */
+
+int isspace_(int c) { return c == ' ' || c == '\t' || c == '\r'; }
+int isdigit_(int c) { return c >= '0' && c <= '9'; }
+int isalpha_(int c) { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'); }
+
+/* read one token into tok[], return its length (0 = end of line/file) */
+char tok[16];
+int readtok() {
+	while (isspace_(input[pos])) pos++;
+	int n = 0;
+	while (input[pos] && input[pos] != '\n' && !isspace_(input[pos]) && n < 15) {
+		tok[n++] = input[pos++];
+	}
+	tok[n] = 0;
+	return n;
+}
+
+int atline;
+int nextline() {
+	while (input[pos] && input[pos] != '\n') pos++;
+	if (input[pos] == '\n') { pos++; atline++; return 1; }
+	return 0;
+}
+
+int tokeq(char *s) {
+	int i = 0;
+	while (tok[i] && s[i] && tok[i] == s[i]) i++;
+	return tok[i] == 0 && s[i] == 0;
+}
+
+/* numeric expression operand: N, N+N or N-N packed into one token */
+int toknum() {
+	int v = 0, i = 0;
+	while (isdigit_(tok[i])) { v = v * 10 + (tok[i] - '0'); i++; }
+	while (tok[i] == '+' || tok[i] == '-') {
+		int negp = tok[i] == '-';
+		i++;
+		int w = 0;
+		while (isdigit_(tok[i])) { w = w * 10 + (tok[i] - '0'); i++; }
+		if (negp) v -= w; else v += w;
+	}
+	return v;
+}
+
+int tokreg() { return tok[1] - '0'; }
+
+int labfind() {
+	int i, j;
+	for (i = 0; i < nlabels; i++) {
+		j = 0;
+		while (j < 3 && labname[i * 4 + j] == tok[j] && tok[j]) j++;
+		if (tok[j] == 0 && (j == 3 || labname[i * 4 + j] == 0)) return i;
+	}
+	return -1;
+}
+
+int labdef(int addr) {
+	int i = labfind();
+	if (i < 0) {
+		i = nlabels++;
+		int j = 0;
+		while (j < 3 && tok[j]) { labname[i * 4 + j] = tok[j]; j++; }
+		labname[i * 4 + j] = 0;
+		labaddr[i] = -1;
+	}
+	if (addr >= 0) labaddr[i] = addr;
+	return i;
+}
+
+int opcode() {
+	if (tokeq("add")) return 0;
+	if (tokeq("sub")) return 1;
+	if (tokeq("and")) return 2;
+	if (tokeq("or"))  return 3;
+	if (tokeq("xor")) return 4;
+	if (tokeq("shl")) return 5;
+	if (tokeq("shr")) return 6;
+	if (tokeq("ld"))  return 7;
+	if (tokeq("st"))  return 8;
+	if (tokeq("mvi")) return 9;
+	if (tokeq("br"))  return 10;
+	if (tokeq(".word"))  return 11;
+	if (tokeq(".space")) return 12;
+	return -1;
+}
+
+/* one pass; emit = 0 only collects labels */
+int runpass(int emit) {
+	pos = 0;
+	atline = 0;
+	int addr = 0;
+	int more = 1;
+	while (more) {
+		int n = readtok();
+		if (n == 0) { more = nextline(); continue; }
+		if (tok[n - 1] == ':') {
+			tok[n - 1] = 0;
+			labdef(addr);
+			n = readtok();
+			if (n == 0) { more = nextline(); continue; }
+		}
+		int op = opcode();
+		int word = op << 24;
+		if (op < 0) { more = nextline(); continue; }
+		if (op == 11) {          /* .word n */
+			readtok();
+			if (emit) outwords[nout++] = toknum();
+			addr++;
+			more = nextline();
+			continue;
+		}
+		if (op == 12) {          /* .space n -> n zero words */
+			readtok();
+			int sp_ = toknum();
+			while (sp_ > 0) {
+				if (emit) outwords[nout++] = 0;
+				addr++;
+				sp_--;
+			}
+			more = nextline();
+			continue;
+		}
+		if (op == 10) {          /* br label */
+			readtok();
+			int li = labdef(-1);
+			int target = 0;
+			if (emit) target = labaddr[li];
+			word += target - addr;
+		} else if (op == 9) {    /* mvi r, imm */
+			readtok();
+			word += tokreg() << 16;
+			readtok();
+			word += toknum();
+		} else if (op >= 7) {    /* ld/st r, r, disp */
+			readtok(); word += tokreg() << 16;
+			readtok(); word += tokreg() << 12;
+			readtok(); word += toknum();
+		} else {                 /* alu r, r, r */
+			readtok(); word += tokreg() << 16;
+			readtok(); word += tokreg() << 12;
+			readtok(); word += tokreg() << 8;
+		}
+		if (emit) outwords[nout++] = word;
+		addr++;
+		more = nextline();
+	}
+	return addr;
+}
+
+/* --- listing generator: disassemble the output words back to text --- */
+
+char lst[32];
+int lstn;
+
+int emitch(int c) { lst[lstn++] = c; return 0; }
+
+int emitdec(int v) {
+	if (v < 0) { emitch('-'); v = -v; }
+	char digs[12];
+	int n = 0;
+	if (v == 0) { emitch('0'); return 0; }
+	while (v > 0) { digs[n++] = '0' + v %% 10; v = v / 10; }
+	while (n > 0) { n--; emitch(digs[n]); }
+	return 0;
+}
+
+int emitstr(char *s) {
+	int i = 0;
+	while (s[i]) emitch(s[i++]);
+	return 0;
+}
+
+int emitreg(int r) { emitch('r'); emitdec(r); return 0; }
+
+char opn0[4] = "add";
+char opn1[4] = "sub";
+char opn2[4] = "and";
+char opn3[3] = "or";
+char opn4[4] = "xor";
+char opn5[4] = "shl";
+char opn6[4] = "shr";
+char opn7[3] = "ld";
+char opn8[3] = "st";
+char opn9[4] = "mvi";
+char opn10[3] = "br";
+
+int opname(int op) {
+	if (op == 0) emitstr(opn0);
+	else if (op == 1) emitstr(opn1);
+	else if (op == 2) emitstr(opn2);
+	else if (op == 3) emitstr(opn3);
+	else if (op == 4) emitstr(opn4);
+	else if (op == 5) emitstr(opn5);
+	else if (op == 6) emitstr(opn6);
+	else if (op == 7) emitstr(opn7);
+	else if (op == 8) emitstr(opn8);
+	else if (op == 9) emitstr(opn9);
+	else emitstr(opn10);
+	return 0;
+}
+
+/* disassemble every word; fold the listing text into a checksum */
+int listing() {
+	int sum = 0, i, j;
+	for (i = 0; i < nout; i++) {
+		int w = outwords[i];
+		lstn = 0;
+		int op = (w >> 24) & 255;
+		if (op > 10) { emitstr(".w "); emitdec(w); }
+		else {
+			opname(op);
+			emitch(' ');
+			emitreg((w >> 16) & 15);
+			emitch(' ');
+			if (op == 10) emitdec(w & 0xFFFF);
+			else if (op == 9) emitdec(w & 0xFFFF);
+			else {
+				emitreg((w >> 12) & 15);
+				emitch(' ');
+				if (op >= 7) emitdec(w & 0xFFF);
+				else emitreg((w >> 8) & 15);
+			}
+		}
+		for (j = 0; j < lstn; j++) sum = sum * 31 + lst[j];
+		sum = sum & 0xFFFFFF;
+	}
+	return sum;
+}
+
+/* --- symbol cross reference: count textual references per label --- */
+
+int xref() {
+	int total = 0, i;
+	for (i = 0; i < nlabels; i++) {
+		int p = 0;
+		while (input[p]) {
+			/* match labname[i*4..] at p */
+			int j = 0;
+			while (j < 3 && labname[i * 4 + j] && input[p + j] == labname[i * 4 + j]) j++;
+			if ((j == 3 || labname[i * 4 + j] == 0) && j > 0) total++;
+			p++;
+		}
+	}
+	return total;
+}
+
+int main() {
+	nlabels = 0;
+	nout = 0;
+	int n1 = runpass(0);
+	int n2 = runpass(1);
+	int sum = 0, i;
+	for (i = 0; i < nout; i++) {
+		sum = sum ^ outwords[i];
+		sum = sum + (outwords[i] >> 16);
+	}
+	print_str("instrs=");
+	print_int(n2);
+	print_str(" labels=");
+	print_int(nlabels);
+	print_str(" check=");
+	print_int(sum);
+	print_str(" lst=");
+	print_int(listing());
+	print_str(" xref=");
+	print_int(xref());
+	print_char('\n');
+	return (n1 != n2);
+}
+`, len(input)+1, quoteMC(input))
+	return &Benchmark{
+		Name:       "assem",
+		Desc:       "The D16 assembler (a real two-pass assembler for a toy ISA).",
+		MaxInstrs:  50_000_000,
+		CacheBench: true,
+		Source:     src,
+	}
+}

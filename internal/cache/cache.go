@@ -1,0 +1,281 @@
+// Package cache implements the dinero-style cache simulator the paper
+// uses for its Section 4.1 experiments: direct-mapped (optionally
+// set-associative) caches organized in blocks of sub-blocks, with
+// wrap-around prefetch of the following sub-block on read misses and no
+// prefetch on writes. Validity is tracked per sub-block; a tag match with
+// an invalid sub-block is still a miss (a sub-block fetch), as in dinero's
+// sub-block mode.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	// Size is the total capacity in bytes.
+	Size uint32
+	// BlockBytes is the block (line) size: the tag granularity.
+	BlockBytes uint32
+	// SubBytes is the sub-block (transfer) size.
+	SubBytes uint32
+	// Assoc is the set associativity; the paper uses 1 (direct-mapped).
+	Assoc uint32
+	// WritePolicy selects WriteBack (default, dinero's default) or
+	// WriteThrough accounting for write traffic.
+	WriteThrough bool
+	// NoWriteAllocate, when set, sends write misses straight to memory
+	// without filling the line.
+	NoWriteAllocate bool
+	// NoPrefetch disables the wrap-around read prefetch.
+	NoPrefetch bool
+}
+
+// Validate checks structural sanity.
+func (c Config) Validate() error {
+	switch {
+	case c.Size == 0 || c.BlockBytes == 0 || c.SubBytes == 0:
+		return fmt.Errorf("cache: zero geometry %+v", c)
+	case c.BlockBytes%c.SubBytes != 0:
+		return fmt.Errorf("cache: block %d not a multiple of sub-block %d", c.BlockBytes, c.SubBytes)
+	case c.Size%c.BlockBytes != 0:
+		return fmt.Errorf("cache: size %d not a multiple of block %d", c.Size, c.BlockBytes)
+	case c.Assoc == 0:
+		return fmt.Errorf("cache: zero associativity")
+	case c.Size/c.BlockBytes%c.Assoc != 0:
+		return fmt.Errorf("cache: %d blocks not divisible by associativity %d", c.Size/c.BlockBytes, c.Assoc)
+	case !pow2(c.Size) || !pow2(c.BlockBytes) || !pow2(c.SubBytes):
+		return fmt.Errorf("cache: geometry must be powers of two: %+v", c)
+	}
+	return nil
+}
+
+func pow2(v uint32) bool { return v != 0 && v&(v-1) == 0 }
+
+// Stats accumulates cache activity.
+type Stats struct {
+	Reads       int64 // read accesses (instruction fetches or data reads)
+	Writes      int64
+	ReadMisses  int64
+	WriteMisses int64
+	// MemReadWords / MemWriteWords count 32-bit words moved between the
+	// cache and memory (fills, prefetches, write-backs/throughs).
+	MemReadWords  int64
+	MemWriteWords int64
+}
+
+// Misses returns total misses.
+func (s *Stats) Misses() int64 { return s.ReadMisses + s.WriteMisses }
+
+// MissRate returns misses per access.
+func (s *Stats) MissRate() float64 {
+	if s.Reads+s.Writes == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(s.Reads+s.Writes)
+}
+
+// ReadMissRate returns read misses per read access.
+func (s *Stats) ReadMissRate() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadMisses) / float64(s.Reads)
+}
+
+// WriteMissRate returns write misses per write access.
+func (s *Stats) WriteMissRate() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return float64(s.WriteMisses) / float64(s.Writes)
+}
+
+type line struct {
+	tag   uint32
+	valid []bool // per sub-block
+	dirty []bool
+	inUse bool
+	lru   int64
+}
+
+// Cache is one simulated cache.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	subPer   uint32 // sub-blocks per block
+	setCount uint32
+	tick     int64
+	Stats    Stats
+}
+
+// New builds a cache; the configuration must validate.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	setCount := cfg.Size / cfg.BlockBytes / cfg.Assoc
+	c := &Cache{
+		cfg:      cfg,
+		subPer:   cfg.BlockBytes / cfg.SubBytes,
+		setCount: setCount,
+		sets:     make([][]line, setCount),
+	}
+	for i := range c.sets {
+		ways := make([]line, cfg.Assoc)
+		for w := range ways {
+			ways[w].valid = make([]bool, c.subPer)
+			ways[w].dirty = make([]bool, c.subPer)
+		}
+		c.sets[i] = ways
+	}
+	return c, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) locate(addr uint32) (set uint32, tag uint32, sub uint32) {
+	block := addr / c.cfg.BlockBytes
+	return block % c.setCount, block / c.setCount, addr % c.cfg.BlockBytes / c.cfg.SubBytes
+}
+
+// findWay returns the way holding the tag, or -1.
+func (c *Cache) findWay(set, tag uint32) int {
+	for w := range c.sets[set] {
+		ln := &c.sets[set][w]
+		if ln.inUse && ln.tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim returns the way to replace in a set (LRU; trivially way 0 when
+// direct-mapped).
+func (c *Cache) victim(set uint32) int {
+	best, bestLRU := 0, int64(1)<<62
+	for w := range c.sets[set] {
+		ln := &c.sets[set][w]
+		if !ln.inUse {
+			return w
+		}
+		if ln.lru < bestLRU {
+			best, bestLRU = w, ln.lru
+		}
+	}
+	return best
+}
+
+// evict writes back dirty sub-blocks of a line about to be replaced.
+func (c *Cache) evict(ln *line) {
+	if c.cfg.WriteThrough {
+		return
+	}
+	for i, d := range ln.dirty {
+		if d {
+			c.Stats.MemWriteWords += int64(c.cfg.SubBytes / 4)
+			ln.dirty[i] = false
+		}
+	}
+}
+
+// Read simulates a read access (instruction fetch or data load) and
+// reports whether it missed.
+func (c *Cache) Read(addr uint32) bool {
+	c.tick++
+	c.Stats.Reads++
+	set, tag, sub := c.locate(addr)
+	w := c.findWay(set, tag)
+	if w >= 0 && c.sets[set][w].valid[sub] {
+		c.sets[set][w].lru = c.tick
+		return false
+	}
+	c.Stats.ReadMisses++
+	ln := c.fill(set, tag, w)
+	ln.valid[sub] = true
+	c.Stats.MemReadWords += int64(c.cfg.SubBytes / 4)
+	if !c.cfg.NoPrefetch {
+		// Wrap-around prefetch: also fetch the next sub-block, wrapping
+		// within the block.
+		nxt := (sub + 1) % c.subPer
+		if !ln.valid[nxt] {
+			ln.valid[nxt] = true
+			c.Stats.MemReadWords += int64(c.cfg.SubBytes / 4)
+		}
+	}
+	return true
+}
+
+// Write simulates a write access and reports whether it missed.
+func (c *Cache) Write(addr uint32) bool {
+	c.tick++
+	c.Stats.Writes++
+	set, tag, sub := c.locate(addr)
+	w := c.findWay(set, tag)
+	hit := w >= 0 && c.sets[set][w].valid[sub]
+	if hit {
+		ln := &c.sets[set][w]
+		ln.lru = c.tick
+		if c.cfg.WriteThrough {
+			c.Stats.MemWriteWords += int64(c.cfg.SubBytes / 4)
+		} else {
+			ln.dirty[sub] = true
+		}
+		return false
+	}
+	c.Stats.WriteMisses++
+	if c.cfg.NoWriteAllocate {
+		c.Stats.MemWriteWords += int64(c.cfg.SubBytes / 4)
+		return true
+	}
+	ln := c.fill(set, tag, w)
+	ln.valid[sub] = true
+	c.Stats.MemReadWords += int64(c.cfg.SubBytes / 4) // no prefetch on write
+	if c.cfg.WriteThrough {
+		c.Stats.MemWriteWords += int64(c.cfg.SubBytes / 4)
+	} else {
+		ln.dirty[sub] = true
+	}
+	return true
+}
+
+// fill ensures a line for (set, tag) exists and returns it; w is the way
+// holding the tag already, or -1 to allocate.
+func (c *Cache) fill(set, tag uint32, w int) *line {
+	if w < 0 {
+		w = c.victim(set)
+		ln := &c.sets[set][w]
+		c.evict(ln)
+		ln.tag = tag
+		ln.inUse = true
+		for i := range ln.valid {
+			ln.valid[i] = false
+		}
+	}
+	ln := &c.sets[set][w]
+	ln.lru = c.tick
+	return ln
+}
+
+// Flush invalidates everything (writing back dirty data) — used between
+// measurement phases.
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			ln := &c.sets[s][w]
+			c.evict(ln)
+			ln.inUse = false
+			for i := range ln.valid {
+				ln.valid[i] = false
+			}
+		}
+	}
+}

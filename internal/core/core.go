@@ -1,0 +1,298 @@
+// Package core is the library's public facade: it ties the compiler,
+// assembler, simulator and memory-system models together into the
+// measurement pipeline the paper's experiments are built on.
+//
+// The central type is Lab, a memoizing measurement harness: it compiles a
+// benchmark for a target configuration once, runs it once with every
+// standard observer attached (fetch-buffer models for both bus widths and
+// the immediate-field classifier), and caches the result, so each of the
+// paper's tables and figures re-reads the same underlying run.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/mcc"
+	"repro/internal/memsys"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+	"repro/internal/sim"
+)
+
+// Measurement is the full result of compiling and running one benchmark
+// under one target configuration.
+type Measurement struct {
+	Bench string
+	Spec  *isa.Spec
+
+	// Static measures.
+	Size         int // stripped binary bytes (text + data), the density measure
+	TextBytes    int
+	DataBytes    int
+	PoolBytes    int // D16 literal pools (included in TextBytes)
+	StaticInstrs int
+	Spills       int
+
+	// Dynamic measures.
+	Output string
+	Stats  sim.Stats
+
+	// Cacheless memory-interface models (Appendix A.2).
+	Bus32 *memsys.NoCache // 32-bit fetch bus
+	Bus64 *memsys.NoCache // 64-bit fetch bus
+
+	// Immediate-field classification (Table 4).
+	Imm ImmStats
+
+	Image *prog.Image
+}
+
+// Cycles evaluates total cycles for a cacheless machine with the given
+// fetch-bus width (bytes) and wait states.
+func (m *Measurement) Cycles(busBytes uint32, waitStates int64) int64 {
+	bus := m.Bus32
+	if busBytes == 8 {
+		bus = m.Bus64
+	}
+	return bus.Cycles(m.Stats.Instrs, m.Stats.Interlocks, waitStates)
+}
+
+// CPI is cycles per (own) instruction for the cacheless machine.
+func (m *Measurement) CPI(busBytes uint32, waitStates int64) float64 {
+	return float64(m.Cycles(busBytes, waitStates)) / float64(m.Stats.Instrs)
+}
+
+// ImmStats counts dynamic instructions whose immediate operands exceed
+// the D16 field limits (the paper's Table 4 classification), measured on
+// a DLXe execution.
+type ImmStats struct {
+	Total    int64
+	CmpImm   int64 // compare-immediate instructions
+	CmpImm8  int64 // of CmpImm, comparands that fit 8 bits (Section 3.3.3's proposal)
+	WideALU  int64 // ALU immediates that exceed 5 unsigned bits
+	WideMem  int64 // memory displacements beyond D16's reach
+	WideMVI  int64 // move-immediates beyond 9 signed bits
+	FarCalls int64 // J-type calls/jumps (D16 uses a pool load + register jump)
+}
+
+// Exec implements sim.Observer.
+func (s *ImmStats) Exec(pc uint32, in isa.Instr) {
+	s.Total++
+	switch {
+	case in.Op == isa.CMP && in.HasImm:
+		s.CmpImm++
+		if in.Imm >= 0 && in.Imm <= 255 {
+			s.CmpImm8++
+		}
+	case in.Op == isa.MVI && (in.Imm < -256 || in.Imm > 255):
+		s.WideMVI++
+	case in.Op == isa.MVHI:
+		s.WideMVI++
+	case in.Op == isa.ANDI || in.Op == isa.ORI || in.Op == isa.XORI:
+		s.WideALU++
+	case (in.Op == isa.ADDI || in.Op == isa.SUBI) && (in.Imm < 0 || in.Imm > 31):
+		s.WideALU++
+	case in.Op.IsLoad() || in.Op.IsStore():
+		sub := in.Op != isa.LD && in.Op != isa.ST
+		if sub && in.Imm != 0 {
+			s.WideMem++
+		} else if !sub && (in.Imm < 0 || in.Imm > 124) {
+			s.WideMem++
+		}
+	case (in.Op == isa.J || in.Op == isa.JL) && in.HasImm:
+		s.FarCalls++
+	}
+}
+
+// Load implements sim.Observer.
+func (s *ImmStats) Load(addr uint32, size uint32) {}
+
+// Store implements sim.Observer.
+func (s *ImmStats) Store(addr uint32, size uint32) {}
+
+// Lab memoizes measurements across experiments.
+type Lab struct {
+	mu    sync.Mutex
+	runs  map[string]*Measurement
+	errs  map[string]error
+	comp  map[string]*mcc.Compiled
+	sweep map[string][]*cache.System
+	pipes map[string][]*pipeline.Engine
+}
+
+// NewLab returns an empty measurement harness.
+func NewLab() *Lab {
+	return &Lab{
+		runs:  map[string]*Measurement{},
+		errs:  map[string]error{},
+		comp:  map[string]*mcc.Compiled{},
+		sweep: map[string][]*cache.System{},
+		pipes: map[string][]*pipeline.Engine{},
+	}
+}
+
+func key(b *bench.Benchmark, spec *isa.Spec) string { return b.Name + "|" + spec.Name }
+
+// Compile compiles (with memoization) one benchmark for one target.
+func (l *Lab) Compile(b *bench.Benchmark, spec *isa.Spec) (*mcc.Compiled, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.compileLocked(b, spec)
+}
+
+func (l *Lab) compileLocked(b *bench.Benchmark, spec *isa.Spec) (*mcc.Compiled, error) {
+	k := key(b, spec)
+	if c, ok := l.comp[k]; ok {
+		return c, nil
+	}
+	if err, ok := l.errs["compile|"+k]; ok {
+		return nil, err
+	}
+	c, err := mcc.Compile(b.Name+".mc", b.Source, spec)
+	if err != nil {
+		l.errs["compile|"+k] = err
+		return nil, err
+	}
+	l.comp[k] = c
+	return c, nil
+}
+
+// Measure compiles and runs one benchmark under one configuration (with
+// memoization), attaching the standard observers.
+func (l *Lab) Measure(b *bench.Benchmark, spec *isa.Spec) (*Measurement, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := key(b, spec)
+	if m, ok := l.runs[k]; ok {
+		return m, nil
+	}
+	if err, ok := l.errs[k]; ok {
+		return nil, err
+	}
+	m, err := l.measureLocked(b, spec)
+	if err != nil {
+		l.errs[k] = err
+		return nil, err
+	}
+	l.runs[k] = m
+	return m, nil
+}
+
+func (l *Lab) measureLocked(b *bench.Benchmark, spec *isa.Spec) (*Measurement, error) {
+	c, err := l.compileLocked(b, spec)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := sim.New(c.Image)
+	if err != nil {
+		return nil, err
+	}
+	m := &Measurement{
+		Bench:        b.Name,
+		Spec:         spec,
+		Size:         c.Image.Size(),
+		TextBytes:    len(c.Image.Text),
+		DataBytes:    len(c.Image.Data),
+		PoolBytes:    c.Image.PoolBytes,
+		StaticInstrs: c.Image.TextInstrs,
+		Spills:       c.Spills,
+		Bus32:        memsys.NewNoCache(4),
+		Bus64:        memsys.NewNoCache(8),
+		Image:        c.Image,
+	}
+	machine.Attach(m.Bus32)
+	machine.Attach(m.Bus64)
+	machine.Attach(&m.Imm)
+	if err := machine.Run(b.MaxInstrs); err != nil {
+		return nil, fmt.Errorf("core: %s on %s: %w", b.Name, spec, err)
+	}
+	m.Output = machine.Output.String()
+	m.Stats = machine.Stats
+	if b.Expect != "" && m.Output != b.Expect {
+		return nil, fmt.Errorf("core: %s on %s: output %q, want %q",
+			b.Name, spec, m.Output, b.Expect)
+	}
+	return m, nil
+}
+
+// CacheSweep runs one benchmark under one configuration with a split I/D
+// cache system per geometry, all attached to a single execution. Results
+// are memoized per (benchmark, spec, geometry-set).
+func (l *Lab) CacheSweep(b *bench.Benchmark, spec *isa.Spec, cfgs []cache.Config) ([]*cache.System, error) {
+	k := key(b, spec)
+	for _, c := range cfgs {
+		k += fmt.Sprintf("|%d/%d/%d", c.Size, c.BlockBytes, c.SubBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s, ok := l.sweep[k]; ok {
+		return s, nil
+	}
+	c, err := l.compileLocked(b, spec)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := sim.New(c.Image)
+	if err != nil {
+		return nil, err
+	}
+	var systems []*cache.System
+	for _, cfg := range cfgs {
+		sys, err := cache.NewSystem(cfg, cfg)
+		if err != nil {
+			return nil, err
+		}
+		systems = append(systems, sys)
+		machine.Attach(sys)
+	}
+	if err := machine.Run(b.MaxInstrs); err != nil {
+		return nil, fmt.Errorf("core: cache sweep %s on %s: %w", b.Name, spec, err)
+	}
+	l.sweep[k] = systems
+	return systems, nil
+}
+
+// PipelineRun executes one benchmark under the event-driven cycle-level
+// pipeline model (one engine per memory configuration, all attached to a
+// single execution). Results are memoized.
+func (l *Lab) PipelineRun(b *bench.Benchmark, spec *isa.Spec, cfgs []pipeline.Config) ([]*pipeline.Engine, error) {
+	k := "pipe|" + key(b, spec)
+	for _, c := range cfgs {
+		k += fmt.Sprintf("|%d/%d/%v", c.BusBytes, c.WaitStates, c.SharedPort)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.pipes[k]; ok {
+		return e, nil
+	}
+	c, err := l.compileLocked(b, spec)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := sim.New(c.Image)
+	if err != nil {
+		return nil, err
+	}
+	var engines []*pipeline.Engine
+	for _, cfg := range cfgs {
+		e := pipeline.New(cfg)
+		engines = append(engines, e)
+		machine.Attach(e)
+	}
+	if err := machine.Run(b.MaxInstrs); err != nil {
+		return nil, fmt.Errorf("core: pipeline run %s on %s: %w", b.Name, spec, err)
+	}
+	l.pipes[k] = engines
+	return engines, nil
+}
+
+// Suite returns the benchmark suite (re-exported for callers that only
+// import core).
+func Suite() []*bench.Benchmark { return bench.All() }
+
+// Configs returns the paper's five compiler configurations.
+func Configs() []*isa.Spec { return isa.PaperConfigs() }

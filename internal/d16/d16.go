@@ -1,0 +1,493 @@
+// Package d16 implements the binary encoding of the 16-bit D16 instruction
+// set (Figure 1 of the paper). D16 has five instruction formats:
+//
+//	MEM   [15]=1   [14:13]=op  [12:8]=off5  [7:4]=ry  [3:0]=rx
+//	      word load/store: rx <-> mem[ry + 4*off5]; offsets limited to
+//	      124 bytes ("word modes limited to 128")
+//	REG   [15:14]=01  [13:8]=opcode6  [7:4]=ry/imm4  [3:0]=rx
+//	      two-address ALU/FP/compare/sub-word-memory/jump operations;
+//	      5-bit ALU immediates borrow their top bit from the opcode
+//	MVI   [15:13]=001  [12:4]=imm9 (signed)  [3:0]=rx
+//	BR    [15:13]=000  [12:11]=op (0 br, 1 bz, 2 bnz)  [10:0]=off11
+//	      signed instruction-unit offset, reach ±1024 instructions
+//	LDC   [15:13]=000  [12:11]=3  [10:0]=off11
+//	      r0 <- mem[(pc & ^3) + 4*off11 (signed)]: the PC-relative
+//	      literal-pool load, reach ±4 KiB
+//
+// Sub-word loads and stores live in the REG format and take no
+// displacement ("address for subword modes is not offsettable").
+// Compares have the fixed implicit destination r0, and bz/bnz implicitly
+// test r0.
+package d16
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Bytes is the fixed D16 instruction size.
+const Bytes = 2
+
+// Variant selects optional encoding extensions.
+type Variant struct {
+	// Cmp8 re-purposes one MVI bit (the paper's Section 3.3.3 proposal):
+	// MVI shrinks to a signed 8-bit immediate and the freed encodings
+	// become an 8-bit unsigned compare-equal immediate, "cmp.eq r0, rx, imm".
+	//
+	//	MVI/CMPEQI   001 sel imm8 rx    sel=0: rx = sext(imm8)
+	//	                                sel=1: r0 = (rx == imm8)
+	Cmp8 bool
+}
+
+// REG-format opcode assignments (6 bits). Immediate ALU operations occupy
+// opcode pairs: the opcode's low bit supplies bit 4 of the 5-bit immediate.
+const (
+	opNop   = 0
+	opMv    = 1
+	opAdd   = 2
+	opSub   = 3
+	opAnd   = 4
+	opOr    = 5
+	opXor   = 6
+	opShl   = 7
+	opShr   = 8
+	opShra  = 9
+	opNeg   = 10
+	opInv   = 11
+	opAddi  = 12 // 12,13
+	opSubi  = 14 // 14,15
+	opShli  = 16 // 16,17
+	opShri  = 18 // 18,19
+	opShrai = 20 // 20,21
+	opLdh   = 22
+	opLdhu  = 23
+	opSth   = 24
+	opLdb   = 25
+	opLdbu  = 26
+	opStb   = 27
+	opCmpLT = 28 // 28..33: lt ltu le leu eq ne
+	opMisc  = 34 // imm4 selects: 0 j, 1 jz, 2 jnz, 3 jl, 4 rdsr
+	opTrap  = 35 // code = imm4<<4 | rx
+	opFAddS = 36 // 36..40: add sub mul div neg (.sf)
+	opFAddD = 41 // 41..45: add sub mul div neg (.df)
+	opFCmpS = 46 // 46..48: lt le eq (.sf)
+	opFCmpD = 49 // 49..51: lt le eq (.df)
+	opCvt   = 52 // 52..57: si2sf si2df sf2df df2sf df2si sf2si
+	opMvfl  = 58
+	opMvfh  = 59
+	opMffl  = 60
+	opMffh  = 61
+	opFmv   = 62
+)
+
+const (
+	miscJ    = 0
+	miscJz   = 1
+	miscJnz  = 2
+	miscJl   = 3
+	miscRdsr = 4
+)
+
+// EncodeError describes an instruction that the D16 format cannot express.
+type EncodeError struct {
+	In  isa.Instr
+	Why string
+}
+
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("d16: cannot encode %q: %s", e.In.String(), e.Why)
+}
+
+func bad(in isa.Instr, why string, args ...any) error {
+	return &EncodeError{In: in, Why: fmt.Sprintf(why, args...)}
+}
+
+func reg4(in isa.Instr, r isa.Reg) (uint16, error) {
+	if !r.Valid() {
+		return 0, bad(in, "missing register operand")
+	}
+	if r.Num() > 15 {
+		return 0, bad(in, "register %s not addressable in 4 bits", r)
+	}
+	return uint16(r.Num()), nil
+}
+
+func regRR(in isa.Instr, opcode uint16) (uint16, error) {
+	rx, err := reg4(in, in.Rd)
+	if err != nil {
+		return 0, err
+	}
+	ry, err := reg4(in, in.Rs1)
+	if err != nil {
+		return 0, err
+	}
+	return encREG(opcode, ry, rx), nil
+}
+
+func encREG(opcode, ry, rx uint16) uint16 {
+	return 1<<14 | opcode<<8 | ry<<4 | rx
+}
+
+// Encode converts one canonical instruction into its 16-bit D16 encoding
+// (base variant). pc is the address of the instruction itself; it is
+// needed for the PC-relative BR and LDC forms whose canonical Imm holds a
+// byte displacement from the instruction address.
+func Encode(in isa.Instr, pc uint32) (uint16, error) {
+	return EncodeV(in, pc, Variant{})
+}
+
+// EncodeV encodes under an explicit variant.
+func EncodeV(in isa.Instr, pc uint32, v Variant) (uint16, error) {
+	switch in.Op {
+	case isa.NOP:
+		return encREG(opNop, 0, 0), nil
+
+	case isa.LD, isa.ST:
+		rx, err := reg4(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		ry, err := reg4(in, in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		if in.Imm < 0 || in.Imm > 124 || in.Imm%4 != 0 {
+			return 0, bad(in, "word displacement %d out of range [0,124]", in.Imm)
+		}
+		op := uint16(0)
+		if in.Op == isa.ST {
+			op = 1
+		}
+		return 1<<15 | op<<13 | uint16(in.Imm/4)<<8 | ry<<4 | rx, nil
+
+	case isa.LDH, isa.LDHU, isa.STH, isa.LDB, isa.LDBU, isa.STB:
+		if in.Imm != 0 {
+			return 0, bad(in, "subword modes are not offsettable")
+		}
+		var opc uint16
+		switch in.Op {
+		case isa.LDH:
+			opc = opLdh
+		case isa.LDHU:
+			opc = opLdhu
+		case isa.STH:
+			opc = opSth
+		case isa.LDB:
+			opc = opLdb
+		case isa.LDBU:
+			opc = opLdbu
+		case isa.STB:
+			opc = opStb
+		}
+		rx, err := reg4(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		ry, err := reg4(in, in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		return encREG(opc, ry, rx), nil
+
+	case isa.LDC:
+		if in.Rd != isa.RegCC {
+			return 0, bad(in, "ldc destination is implicitly r0")
+		}
+		base := pc &^ 3
+		target := int64(pc) + int64(in.Imm)
+		if target%4 != 0 {
+			return 0, bad(in, "ldc literal not word aligned")
+		}
+		woff := (target - int64(base)) / 4
+		if woff < -1024 || woff > 1023 {
+			return 0, bad(in, "ldc literal displacement %d words out of range", woff)
+		}
+		return 3<<11 | uint16(woff)&0x7FF, nil
+
+	case isa.BR, isa.BZ, isa.BNZ:
+		if in.Op != isa.BR && in.Rs1 != isa.RegCC {
+			return 0, bad(in, "bz/bnz implicitly test r0, got %s", in.Rs1)
+		}
+		if in.Imm%Bytes != 0 {
+			return 0, bad(in, "branch displacement %d not instruction aligned", in.Imm)
+		}
+		ioff := in.Imm / Bytes
+		if ioff < -1024 || ioff > 1023 {
+			return 0, bad(in, "branch displacement %d instructions out of range", ioff)
+		}
+		var op uint16
+		switch in.Op {
+		case isa.BZ:
+			op = 1
+		case isa.BNZ:
+			op = 2
+		}
+		return op<<11 | uint16(ioff)&0x7FF, nil
+
+	case isa.J, isa.JZ, isa.JNZ, isa.JL:
+		if in.HasImm {
+			return 0, bad(in, "D16 jumps are register-absolute only")
+		}
+		rx, err := reg4(in, in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		var sub uint16
+		switch in.Op {
+		case isa.J:
+			sub = miscJ
+		case isa.JZ:
+			sub = miscJz
+		case isa.JNZ:
+			sub = miscJnz
+		case isa.JL:
+			sub = miscJl
+		}
+		return encREG(opMisc, sub, rx), nil
+
+	case isa.RDSR:
+		rx, err := reg4(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		return encREG(opMisc, miscRdsr, rx), nil
+
+	case isa.TRAP:
+		if in.Imm < 0 || in.Imm > 255 {
+			return 0, bad(in, "trap code %d out of range [0,255]", in.Imm)
+		}
+		return encREG(opTrap, uint16(in.Imm)>>4, uint16(in.Imm)&0xF), nil
+
+	case isa.MVI:
+		rx, err := reg4(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		if v.Cmp8 {
+			if in.Imm < -128 || in.Imm > 127 {
+				return 0, bad(in, "mvi immediate %d out of signed 8-bit range (cmp8 variant)", in.Imm)
+			}
+			return 1<<13 | (uint16(in.Imm)&0xFF)<<4 | rx, nil
+		}
+		if in.Imm < -256 || in.Imm > 255 {
+			return 0, bad(in, "mvi immediate %d out of signed 9-bit range", in.Imm)
+		}
+		return 1<<13 | (uint16(in.Imm)&0x1FF)<<4 | rx, nil
+
+	case isa.MV:
+		return regRR(in, opMv)
+
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SHRA:
+		if in.Rd != in.Rs1 {
+			return 0, bad(in, "two-address operation requires rd == rs1")
+		}
+		var opc uint16
+		switch in.Op {
+		case isa.ADD:
+			opc = opAdd
+		case isa.SUB:
+			opc = opSub
+		case isa.AND:
+			opc = opAnd
+		case isa.OR:
+			opc = opOr
+		case isa.XOR:
+			opc = opXor
+		case isa.SHL:
+			opc = opShl
+		case isa.SHR:
+			opc = opShr
+		case isa.SHRA:
+			opc = opShra
+		}
+		rx, err := reg4(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		ry, err := reg4(in, in.Rs2)
+		if err != nil {
+			return 0, err
+		}
+		return encREG(opc, ry, rx), nil
+
+	case isa.NEG, isa.INV:
+		if in.Rd != in.Rs1 {
+			return 0, bad(in, "unary operation is in-place (rd == rs1)")
+		}
+		opc := uint16(opNeg)
+		if in.Op == isa.INV {
+			opc = opInv
+		}
+		rx, err := reg4(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		return encREG(opc, 0, rx), nil
+
+	case isa.ADDI, isa.SUBI, isa.SHLI, isa.SHRI, isa.SHRAI:
+		if in.Rd != in.Rs1 {
+			return 0, bad(in, "two-address operation requires rd == rs1")
+		}
+		if in.Imm < 0 || in.Imm > 31 {
+			return 0, bad(in, "immediate %d out of unsigned 5-bit range", in.Imm)
+		}
+		var opc uint16
+		switch in.Op {
+		case isa.ADDI:
+			opc = opAddi
+		case isa.SUBI:
+			opc = opSubi
+		case isa.SHLI:
+			opc = opShli
+		case isa.SHRI:
+			opc = opShri
+		case isa.SHRAI:
+			opc = opShrai
+		}
+		opc |= uint16(in.Imm) >> 4 // bit 4 of the immediate rides in the opcode
+		rx, err := reg4(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		return encREG(opc, uint16(in.Imm)&0xF, rx), nil
+
+	case isa.CMP:
+		if in.Rd != isa.RegCC {
+			return 0, bad(in, "compare destination is implicitly r0")
+		}
+		if in.HasImm {
+			if !v.Cmp8 || in.Cond != isa.EQ {
+				return 0, bad(in, "D16 compare operands must both be registers")
+			}
+			if in.Imm < 0 || in.Imm > 255 {
+				return 0, bad(in, "cmp.eq immediate %d out of unsigned 8-bit range", in.Imm)
+			}
+			rx, err := reg4(in, in.Rs1)
+			if err != nil {
+				return 0, err
+			}
+			return 1<<13 | 1<<12 | uint16(in.Imm)<<4 | rx, nil
+		}
+		if !in.Cond.D16Legal() {
+			return 0, bad(in, "condition %s not available on D16", in.Cond)
+		}
+		opc := uint16(opCmpLT) + uint16(in.Cond-isa.LT)
+		rx, err := reg4(in, in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		ry, err := reg4(in, in.Rs2)
+		if err != nil {
+			return 0, err
+		}
+		return encREG(opc, ry, rx), nil
+
+	case isa.FADDS, isa.FSUBS, isa.FMULS, isa.FDIVS, isa.FNEGS,
+		isa.FADDD, isa.FSUBD, isa.FMULD, isa.FDIVD, isa.FNEGD:
+		if in.Rd != in.Rs1 {
+			return 0, bad(in, "two-address FP operation requires rd == rs1")
+		}
+		var opc uint16
+		switch in.Op {
+		case isa.FADDS:
+			opc = opFAddS
+		case isa.FSUBS:
+			opc = opFAddS + 1
+		case isa.FMULS:
+			opc = opFAddS + 2
+		case isa.FDIVS:
+			opc = opFAddS + 3
+		case isa.FNEGS:
+			opc = opFAddS + 4
+		case isa.FADDD:
+			opc = opFAddD
+		case isa.FSUBD:
+			opc = opFAddD + 1
+		case isa.FMULD:
+			opc = opFAddD + 2
+		case isa.FDIVD:
+			opc = opFAddD + 3
+		case isa.FNEGD:
+			opc = opFAddD + 4
+		}
+		rx, err := reg4(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		ry := uint16(0)
+		if in.Op != isa.FNEGS && in.Op != isa.FNEGD {
+			ry, err = reg4(in, in.Rs2)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return encREG(opc, ry, rx), nil
+
+	case isa.FCMPS, isa.FCMPD:
+		base := uint16(opFCmpS)
+		if in.Op == isa.FCMPD {
+			base = opFCmpD
+		}
+		var sub uint16
+		switch in.Cond {
+		case isa.LT:
+			sub = 0
+		case isa.LE:
+			sub = 1
+		case isa.EQ:
+			sub = 2
+		default:
+			return 0, bad(in, "FP compare condition %s not encodable (use lt/le/eq)", in.Cond)
+		}
+		rx, err := reg4(in, in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		ry, err := reg4(in, in.Rs2)
+		if err != nil {
+			return 0, err
+		}
+		return encREG(base+sub, ry, rx), nil
+
+	case isa.CVTSISF, isa.CVTSIDF, isa.CVTSFDF, isa.CVTDFSF, isa.CVTDFSI, isa.CVTSFSI:
+		opc := uint16(opCvt) + uint16(in.Op-isa.CVTSISF)
+		rx, err := reg4(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		ry, err := reg4(in, in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		return encREG(opc, ry, rx), nil
+
+	case isa.MVFL, isa.MVFH, isa.MFFL, isa.MFFH, isa.FMV:
+		var opc uint16
+		switch in.Op {
+		case isa.MVFL:
+			opc = opMvfl
+		case isa.MVFH:
+			opc = opMvfh
+		case isa.MFFL:
+			opc = opMffl
+		case isa.MFFH:
+			opc = opMffh
+		case isa.FMV:
+			opc = opFmv
+		}
+		rx, err := reg4(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		ry, err := reg4(in, in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		return encREG(opc, ry, rx), nil
+
+	case isa.ANDI, isa.ORI, isa.XORI, isa.MVHI:
+		return 0, bad(in, "operation is DLXe-only")
+	}
+	return 0, bad(in, "unsupported operation")
+}

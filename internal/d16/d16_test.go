@@ -1,0 +1,185 @@
+package d16
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// sampleInstrs returns a representative set of encodable D16 instructions.
+func sampleInstrs() []isa.Instr {
+	r, f := isa.R, isa.F
+	return []isa.Instr{
+		isa.MakeNop(),
+		{Op: isa.LD, Rd: r(4), Rs1: r(2), Imm: 8},
+		{Op: isa.LD, Rd: r(15), Rs1: r(13), Imm: 124},
+		{Op: isa.ST, Rd: r(3), Rs1: r(2), Imm: 0},
+		{Op: isa.LDB, Rd: r(5), Rs1: r(6)},
+		{Op: isa.LDBU, Rd: r(5), Rs1: r(6)},
+		{Op: isa.LDH, Rd: r(5), Rs1: r(6)},
+		{Op: isa.LDHU, Rd: r(5), Rs1: r(6)},
+		{Op: isa.STB, Rd: r(5), Rs1: r(6)},
+		{Op: isa.STH, Rd: r(5), Rs1: r(6)},
+		{Op: isa.MVI, Rd: r(7), Imm: -256, HasImm: true},
+		{Op: isa.MVI, Rd: r(7), Imm: 255, HasImm: true},
+		{Op: isa.MV, Rd: r(8), Rs1: r(9)},
+		{Op: isa.ADD, Rd: r(4), Rs1: r(4), Rs2: r(5)},
+		{Op: isa.SUB, Rd: r(4), Rs1: r(4), Rs2: r(5)},
+		{Op: isa.AND, Rd: r(4), Rs1: r(4), Rs2: r(5)},
+		{Op: isa.OR, Rd: r(4), Rs1: r(4), Rs2: r(5)},
+		{Op: isa.XOR, Rd: r(4), Rs1: r(4), Rs2: r(5)},
+		{Op: isa.SHL, Rd: r(4), Rs1: r(4), Rs2: r(5)},
+		{Op: isa.SHR, Rd: r(4), Rs1: r(4), Rs2: r(5)},
+		{Op: isa.SHRA, Rd: r(4), Rs1: r(4), Rs2: r(5)},
+		{Op: isa.NEG, Rd: r(4), Rs1: r(4)},
+		{Op: isa.INV, Rd: r(4), Rs1: r(4)},
+		{Op: isa.ADDI, Rd: r(4), Rs1: r(4), Imm: 31, HasImm: true},
+		{Op: isa.ADDI, Rd: r(4), Rs1: r(4), Imm: 0, HasImm: true},
+		{Op: isa.SUBI, Rd: r(4), Rs1: r(4), Imm: 16, HasImm: true},
+		{Op: isa.SHLI, Rd: r(4), Rs1: r(4), Imm: 17, HasImm: true},
+		{Op: isa.SHRI, Rd: r(4), Rs1: r(4), Imm: 1, HasImm: true},
+		{Op: isa.SHRAI, Rd: r(4), Rs1: r(4), Imm: 31, HasImm: true},
+		{Op: isa.CMP, Cond: isa.LT, Rd: isa.RegCC, Rs1: r(4), Rs2: r(5)},
+		{Op: isa.CMP, Cond: isa.NE, Rd: isa.RegCC, Rs1: r(14), Rs2: r(15)},
+		{Op: isa.BR, Imm: -2048},
+		{Op: isa.BR, Imm: 2046},
+		{Op: isa.BZ, Rs1: isa.RegCC, Imm: 100},
+		{Op: isa.BNZ, Rs1: isa.RegCC, Imm: -100},
+		{Op: isa.J, Rs1: r(6)},
+		{Op: isa.JZ, Rs1: r(6)},
+		{Op: isa.JNZ, Rs1: r(6)},
+		{Op: isa.JL, Rs1: r(6)},
+		{Op: isa.RDSR, Rd: r(9)},
+		{Op: isa.TRAP, Imm: 0, HasImm: true},
+		{Op: isa.TRAP, Imm: 255, HasImm: true},
+		{Op: isa.FADDS, Rd: f(2), Rs1: f(2), Rs2: f(3)},
+		{Op: isa.FSUBD, Rd: f(2), Rs1: f(2), Rs2: f(3)},
+		{Op: isa.FMULS, Rd: f(0), Rs1: f(0), Rs2: f(15)},
+		{Op: isa.FDIVD, Rd: f(1), Rs1: f(1), Rs2: f(1)},
+		{Op: isa.FNEGS, Rd: f(4), Rs1: f(4)},
+		{Op: isa.FNEGD, Rd: f(4), Rs1: f(4)},
+		{Op: isa.FCMPS, Cond: isa.LT, Rs1: f(1), Rs2: f(2)},
+		{Op: isa.FCMPD, Cond: isa.EQ, Rs1: f(1), Rs2: f(2)},
+		{Op: isa.CVTSISF, Rd: f(3), Rs1: r(4)},
+		{Op: isa.CVTSIDF, Rd: f(3), Rs1: r(4)},
+		{Op: isa.CVTSFDF, Rd: f(3), Rs1: f(4)},
+		{Op: isa.CVTDFSF, Rd: f(3), Rs1: f(4)},
+		{Op: isa.CVTDFSI, Rd: r(3), Rs1: f(4)},
+		{Op: isa.CVTSFSI, Rd: r(3), Rs1: f(4)},
+		{Op: isa.MVFL, Rd: f(3), Rs1: r(4)},
+		{Op: isa.MVFH, Rd: f(3), Rs1: r(4)},
+		{Op: isa.MFFL, Rd: r(3), Rs1: f(4)},
+		{Op: isa.MFFH, Rd: r(3), Rs1: f(4)},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	const pc = 0x1000
+	for _, in := range sampleInstrs() {
+		word, err := Encode(in, pc)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", in, err)
+			continue
+		}
+		got, err := Decode(word, pc)
+		if err != nil {
+			t.Errorf("Decode(Encode(%v)) = %#04x: %v", in, word, err)
+			continue
+		}
+		if got != in {
+			t.Errorf("round trip %v -> %#04x -> %v", in, word, got)
+		}
+	}
+}
+
+func TestLDCRoundTrip(t *testing.T) {
+	// LDC displacements are relative to the word-aligned PC; test both PC
+	// alignments and the extremes of the reach.
+	for _, pc := range []uint32{0x1000, 0x1002} {
+		base := pc &^ 3
+		for _, target := range []uint32{base - 4096, base, base + 4092} {
+			in := isa.Instr{Op: isa.LDC, Rd: isa.RegCC, Rs1: isa.NoReg,
+				Imm: int32(target) - int32(pc)}
+			word, err := Encode(in, pc)
+			if err != nil {
+				t.Fatalf("Encode(ldc @%#x -> %#x): %v", pc, target, err)
+			}
+			got, err := Decode(word, pc)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got != in {
+				t.Errorf("ldc round trip @%#x: %v -> %v", pc, in, got)
+			}
+		}
+	}
+}
+
+func TestEncodeRejections(t *testing.T) {
+	r := isa.R
+	cases := []struct {
+		name string
+		in   isa.Instr
+	}{
+		{"three-address add", isa.Instr{Op: isa.ADD, Rd: r(4), Rs1: r(5), Rs2: r(6)}},
+		{"register 16", isa.Instr{Op: isa.MV, Rd: isa.R(16), Rs1: r(1)}},
+		{"wide displacement", isa.Instr{Op: isa.LD, Rd: r(4), Rs1: r(2), Imm: 128}},
+		{"negative displacement", isa.Instr{Op: isa.LD, Rd: r(4), Rs1: r(2), Imm: -4}},
+		{"unaligned displacement", isa.Instr{Op: isa.LD, Rd: r(4), Rs1: r(2), Imm: 6}},
+		{"subword displacement", isa.Instr{Op: isa.LDB, Rd: r(4), Rs1: r(2), Imm: 4}},
+		{"wide alu imm", isa.Instr{Op: isa.ADDI, Rd: r(4), Rs1: r(4), Imm: 32, HasImm: true}},
+		{"wide mvi", isa.Instr{Op: isa.MVI, Rd: r(4), Imm: 256, HasImm: true}},
+		{"cmp immediate", isa.Instr{Op: isa.CMP, Cond: isa.EQ, Rd: isa.RegCC, Rs1: r(4), Imm: 1, HasImm: true}},
+		{"cmp gt", isa.Instr{Op: isa.CMP, Cond: isa.GT, Rd: isa.RegCC, Rs1: r(4), Rs2: r(5)}},
+		{"cmp to r5", isa.Instr{Op: isa.CMP, Cond: isa.EQ, Rd: r(5), Rs1: r(4), Rs2: r(5)}},
+		{"bz on r4", isa.Instr{Op: isa.BZ, Rs1: r(4), Imm: 4}},
+		{"far branch", isa.Instr{Op: isa.BR, Imm: 4096}},
+		{"andi", isa.Instr{Op: isa.ANDI, Rd: r(4), Rs1: r(4), Imm: 1, HasImm: true}},
+		{"mvhi", isa.Instr{Op: isa.MVHI, Rd: r(4), Imm: 1, HasImm: true}},
+		{"j-type jump", isa.Instr{Op: isa.J, Imm: 0x100, HasImm: true}},
+	}
+	for _, tc := range cases {
+		if _, err := Encode(tc.in, 0x1000); err == nil {
+			t.Errorf("%s: expected encode error for %v", tc.name, tc.in)
+		}
+	}
+}
+
+// TestDecodeTotal decodes every possible 16-bit word and checks that the
+// decoder never panics, and that anything that decodes successfully is
+// semantically canonical: re-encoding it and decoding again yields the
+// same instruction. (Bit-exact re-encoding is not required because
+// decoders may ignore unused operand fields.)
+func TestDecodeTotal(t *testing.T) {
+	const pc = 0x2000
+	decoded := 0
+	for w := 0; w <= 0xFFFF; w++ {
+		in, err := Decode(uint16(w), pc)
+		if err != nil {
+			continue
+		}
+		decoded++
+		back, err := Encode(in, pc)
+		if err != nil {
+			t.Fatalf("word %#04x decoded to %v which does not re-encode: %v", w, in, err)
+		}
+		again, err := Decode(back, pc)
+		if err != nil {
+			t.Fatalf("re-encoded word %#04x does not decode: %v", back, err)
+		}
+		if again != in {
+			t.Fatalf("word %#04x -> %v -> %#04x -> %v (not canonical)", w, in, back, again)
+		}
+	}
+	if decoded < 0x4000 {
+		t.Errorf("only %d of 65536 words decode; encoding space suspiciously sparse", decoded)
+	}
+}
+
+func TestRandomWordsDoNotPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		Decode(uint16(rng.Uint32()), uint32(rng.Uint32())&^1)
+	}
+}

@@ -1,0 +1,209 @@
+package d16
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// DecodeError describes an instruction word with no defined decoding.
+type DecodeError struct {
+	Word uint16
+	PC   uint32
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("d16: undefined instruction %#04x at %#x", e.Word, e.PC)
+}
+
+func sext(v uint16, bits uint) int32 {
+	shift := 32 - bits
+	return int32(uint32(v)<<shift) >> shift
+}
+
+// Decode reconstructs the canonical instruction from a 16-bit D16 word
+// (base variant). pc is the instruction's own address (needed to express
+// BR and LDC displacements relative to it).
+func Decode(word uint16, pc uint32) (isa.Instr, error) {
+	return DecodeV(word, pc, Variant{})
+}
+
+// DecodeV decodes under an explicit variant.
+func DecodeV(word uint16, pc uint32, v Variant) (isa.Instr, error) {
+	switch {
+	case word>>15 == 1: // MEM
+		op := isa.LD
+		if word>>13&3 == 1 {
+			op = isa.ST
+		} else if word>>13&3 != 0 {
+			return isa.Instr{}, &DecodeError{word, pc}
+		}
+		return isa.Instr{
+			Op:  op,
+			Rd:  isa.R(int(word & 0xF)),
+			Rs1: isa.R(int(word >> 4 & 0xF)),
+			Imm: int32(word>>8&0x1F) * 4,
+		}, nil
+
+	case word>>14 == 1: // REG
+		return decodeREG(word, pc)
+
+	case word>>13 == 1: // MVI (and CMPEQI under the cmp8 variant)
+		if v.Cmp8 {
+			if word>>12&1 == 1 {
+				return isa.Instr{
+					Op: isa.CMP, Cond: isa.EQ, Rd: isa.RegCC,
+					Rs1: isa.R(int(word & 0xF)),
+					Imm: int32(word >> 4 & 0xFF), HasImm: true,
+				}, nil
+			}
+			return isa.Instr{
+				Op:     isa.MVI,
+				Rd:     isa.R(int(word & 0xF)),
+				Imm:    sext(word>>4&0xFF, 8),
+				HasImm: true,
+			}, nil
+		}
+		return isa.Instr{
+			Op:     isa.MVI,
+			Rd:     isa.R(int(word & 0xF)),
+			Imm:    sext(word>>4&0x1FF, 9),
+			HasImm: true,
+		}, nil
+
+	default: // BR / LDC
+		off := sext(word&0x7FF, 11)
+		switch word >> 11 & 3 {
+		case 0:
+			return isa.Instr{Op: isa.BR, Imm: off * Bytes}, nil
+		case 1:
+			return isa.Instr{Op: isa.BZ, Rs1: isa.RegCC, Imm: off * Bytes}, nil
+		case 2:
+			return isa.Instr{Op: isa.BNZ, Rs1: isa.RegCC, Imm: off * Bytes}, nil
+		default:
+			target := int64(pc&^3) + int64(off)*4
+			return isa.Instr{Op: isa.LDC, Rd: isa.RegCC, Rs1: isa.NoReg,
+				Imm: int32(target - int64(pc))}, nil
+		}
+	}
+}
+
+func decodeREG(word uint16, pc uint32) (isa.Instr, error) {
+	opcode := word >> 8 & 0x3F
+	ry := int(word >> 4 & 0xF)
+	rx := int(word & 0xF)
+	gg := func(op isa.Op) (isa.Instr, error) { // two-address rx op= ry
+		return isa.Instr{Op: op, Rd: isa.R(rx), Rs1: isa.R(rx), Rs2: isa.R(ry)}, nil
+	}
+	imm5 := func(op isa.Op, hi uint16) (isa.Instr, error) {
+		return isa.Instr{Op: op, Rd: isa.R(rx), Rs1: isa.R(rx),
+			Imm: int32(hi<<4 | uint16(ry)), HasImm: true}, nil
+	}
+	switch opcode {
+	case opNop:
+		return isa.MakeNop(), nil
+	case opMv:
+		return isa.Instr{Op: isa.MV, Rd: isa.R(rx), Rs1: isa.R(ry)}, nil
+	case opAdd:
+		return gg(isa.ADD)
+	case opSub:
+		return gg(isa.SUB)
+	case opAnd:
+		return gg(isa.AND)
+	case opOr:
+		return gg(isa.OR)
+	case opXor:
+		return gg(isa.XOR)
+	case opShl:
+		return gg(isa.SHL)
+	case opShr:
+		return gg(isa.SHR)
+	case opShra:
+		return gg(isa.SHRA)
+	case opNeg:
+		return isa.Instr{Op: isa.NEG, Rd: isa.R(rx), Rs1: isa.R(rx)}, nil
+	case opInv:
+		return isa.Instr{Op: isa.INV, Rd: isa.R(rx), Rs1: isa.R(rx)}, nil
+	case opAddi, opAddi + 1:
+		return imm5(isa.ADDI, opcode&1)
+	case opSubi, opSubi + 1:
+		return imm5(isa.SUBI, opcode&1)
+	case opShli, opShli + 1:
+		return imm5(isa.SHLI, opcode&1)
+	case opShri, opShri + 1:
+		return imm5(isa.SHRI, opcode&1)
+	case opShrai, opShrai + 1:
+		return imm5(isa.SHRAI, opcode&1)
+	case opLdh, opLdhu, opLdb, opLdbu:
+		op := map[uint16]isa.Op{opLdh: isa.LDH, opLdhu: isa.LDHU,
+			opLdb: isa.LDB, opLdbu: isa.LDBU}[opcode]
+		return isa.Instr{Op: op, Rd: isa.R(rx), Rs1: isa.R(ry)}, nil
+	case opSth, opStb:
+		op := isa.STH
+		if opcode == opStb {
+			op = isa.STB
+		}
+		return isa.Instr{Op: op, Rd: isa.R(rx), Rs1: isa.R(ry)}, nil
+	case opCmpLT, opCmpLT + 1, opCmpLT + 2, opCmpLT + 3, opCmpLT + 4, opCmpLT + 5:
+		return isa.Instr{Op: isa.CMP, Cond: isa.LT + isa.Cond(opcode-opCmpLT),
+			Rd: isa.RegCC, Rs1: isa.R(rx), Rs2: isa.R(ry)}, nil
+	case opMisc:
+		switch ry {
+		case miscJ:
+			return isa.Instr{Op: isa.J, Rs1: isa.R(rx)}, nil
+		case miscJz:
+			return isa.Instr{Op: isa.JZ, Rs1: isa.R(rx)}, nil
+		case miscJnz:
+			return isa.Instr{Op: isa.JNZ, Rs1: isa.R(rx)}, nil
+		case miscJl:
+			return isa.Instr{Op: isa.JL, Rs1: isa.R(rx)}, nil
+		case miscRdsr:
+			return isa.Instr{Op: isa.RDSR, Rd: isa.R(rx)}, nil
+		}
+		return isa.Instr{}, &DecodeError{word, pc}
+	case opTrap:
+		return isa.Instr{Op: isa.TRAP, Imm: int32(ry<<4 | rx), HasImm: true}, nil
+	case opFAddS, opFAddS + 1, opFAddS + 2, opFAddS + 3:
+		return isa.Instr{Op: isa.FADDS + isa.Op(opcode-opFAddS),
+			Rd: isa.F(rx), Rs1: isa.F(rx), Rs2: isa.F(ry)}, nil
+	case opFAddS + 4:
+		return isa.Instr{Op: isa.FNEGS, Rd: isa.F(rx), Rs1: isa.F(rx)}, nil
+	case opFAddD, opFAddD + 1, opFAddD + 2, opFAddD + 3:
+		return isa.Instr{Op: isa.FADDD + isa.Op(opcode-opFAddD),
+			Rd: isa.F(rx), Rs1: isa.F(rx), Rs2: isa.F(ry)}, nil
+	case opFAddD + 4:
+		return isa.Instr{Op: isa.FNEGD, Rd: isa.F(rx), Rs1: isa.F(rx)}, nil
+	case opFCmpS, opFCmpS + 1, opFCmpS + 2, opFCmpD, opFCmpD + 1, opFCmpD + 2:
+		op := isa.FCMPS
+		sub := opcode - opFCmpS
+		if opcode >= opFCmpD {
+			op = isa.FCMPD
+			sub = opcode - opFCmpD
+		}
+		cond := [3]isa.Cond{isa.LT, isa.LE, isa.EQ}[sub]
+		return isa.Instr{Op: op, Cond: cond, Rs1: isa.F(rx), Rs2: isa.F(ry)}, nil
+	case opCvt, opCvt + 1, opCvt + 2, opCvt + 3, opCvt + 4, opCvt + 5:
+		op := isa.CVTSISF + isa.Op(opcode-opCvt)
+		var rd, rs isa.Reg
+		switch op {
+		case isa.CVTSISF, isa.CVTSIDF: // int -> fp
+			rd, rs = isa.F(rx), isa.R(ry)
+		case isa.CVTDFSI, isa.CVTSFSI: // fp -> int
+			rd, rs = isa.R(rx), isa.F(ry)
+		default: // fp -> fp
+			rd, rs = isa.F(rx), isa.F(ry)
+		}
+		return isa.Instr{Op: op, Rd: rd, Rs1: rs}, nil
+	case opMvfl:
+		return isa.Instr{Op: isa.MVFL, Rd: isa.F(rx), Rs1: isa.R(ry)}, nil
+	case opMvfh:
+		return isa.Instr{Op: isa.MVFH, Rd: isa.F(rx), Rs1: isa.R(ry)}, nil
+	case opMffl:
+		return isa.Instr{Op: isa.MFFL, Rd: isa.R(rx), Rs1: isa.F(ry)}, nil
+	case opMffh:
+		return isa.Instr{Op: isa.MFFH, Rd: isa.R(rx), Rs1: isa.F(ry)}, nil
+	case opFmv:
+		return isa.Instr{Op: isa.FMV, Rd: isa.F(rx), Rs1: isa.F(ry)}, nil
+	}
+	return isa.Instr{}, &DecodeError{word, pc}
+}

@@ -1,0 +1,73 @@
+package d16
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+var cmp8 = Variant{Cmp8: true}
+
+func TestCmp8VariantRoundTrip(t *testing.T) {
+	const pc = 0x1000
+	cases := []isa.Instr{
+		{Op: isa.MVI, Rd: isa.R(4), Imm: -128, HasImm: true},
+		{Op: isa.MVI, Rd: isa.R(4), Imm: 127, HasImm: true},
+		{Op: isa.CMP, Cond: isa.EQ, Rd: isa.RegCC, Rs1: isa.R(5), Imm: 0, HasImm: true},
+		{Op: isa.CMP, Cond: isa.EQ, Rd: isa.RegCC, Rs1: isa.R(5), Imm: 255, HasImm: true},
+	}
+	for _, in := range cases {
+		w, err := EncodeV(in, pc, cmp8)
+		if err != nil {
+			t.Fatalf("EncodeV(%v): %v", in, err)
+		}
+		got, err := DecodeV(w, pc, cmp8)
+		if err != nil {
+			t.Fatalf("DecodeV(%#04x): %v", w, err)
+		}
+		if got != in {
+			t.Errorf("round trip %v -> %#04x -> %v", in, w, got)
+		}
+	}
+}
+
+func TestCmp8VariantRestrictsMVI(t *testing.T) {
+	in := isa.Instr{Op: isa.MVI, Rd: isa.R(4), Imm: 200, HasImm: true}
+	if _, err := EncodeV(in, 0x1000, cmp8); err == nil {
+		t.Error("mvi 200 must not encode under the 8-bit variant")
+	}
+	if _, err := Encode(in, 0x1000); err != nil {
+		t.Errorf("mvi 200 must encode in the base format: %v", err)
+	}
+}
+
+func TestBaseVariantRejectsCmpImm(t *testing.T) {
+	in := isa.Instr{Op: isa.CMP, Cond: isa.EQ, Rd: isa.RegCC,
+		Rs1: isa.R(5), Imm: 10, HasImm: true}
+	if _, err := Encode(in, 0x1000); err == nil {
+		t.Error("base D16 has no compare-immediate")
+	}
+	// And the variant accepts only eq.
+	in.Cond = isa.LT
+	if _, err := EncodeV(in, 0x1000, cmp8); err == nil {
+		t.Error("cmp8 variant must accept eq only")
+	}
+}
+
+// The two variants must agree on every encoding outside the MVI format.
+func TestVariantsAgreeOutsideMVI(t *testing.T) {
+	const pc = 0x1000
+	for w := 0; w <= 0xFFFF; w++ {
+		if uint16(w)>>13 == 1 {
+			continue // the MVI/CMPEQI space
+		}
+		a, errA := Decode(uint16(w), pc)
+		b, errB := DecodeV(uint16(w), pc, cmp8)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("word %#04x: decode disagreement (%v vs %v)", w, errA, errB)
+		}
+		if errA == nil && a != b {
+			t.Fatalf("word %#04x: %v vs %v", w, a, b)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package dis disassembles linked images back to the canonical assembly
+// syntax, with an annotated listing form for debugging compiled code.
+//
+// Every successfully decoded instruction renders in a syntax the
+// assembler accepts; the round-trip (decode → print → assemble →
+// encode) reproduces the original bits, which the tests exploit as a
+// cross-check of the whole binary toolchain.
+package dis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/d16"
+	"repro/internal/dlxe"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Entry is one disassembled text-segment slot.
+type Entry struct {
+	Addr uint32
+	// Raw is the instruction word (16 or 32 bits, in the low bits).
+	Raw uint32
+	// In is the decoded instruction; valid only when Err is nil.
+	In isa.Instr
+	// Err is the decode failure (literal-pool words, padding).
+	Err error
+}
+
+// Text decodes the whole text segment.
+func Text(img *prog.Image) []Entry {
+	ib := img.Enc.InstrBytes()
+	var out []Entry
+	for off := uint32(0); off+ib <= uint32(len(img.Text)); off += ib {
+		addr := isa.TextBase + off
+		e := Entry{Addr: addr}
+		if img.Enc == isa.EncD16 {
+			w := binary.LittleEndian.Uint16(img.Text[off:])
+			e.Raw = uint32(w)
+			e.In, e.Err = d16.DecodeV(w, addr, d16.Variant{Cmp8: img.Cmp8})
+		} else {
+			w := binary.LittleEndian.Uint32(img.Text[off:])
+			e.Raw = w
+			e.In, e.Err = dlxe.Decode(w, addr)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Listing renders an annotated disassembly: addresses, raw words,
+// symbol labels, decoded instructions, and branch-target annotations.
+func Listing(img *prog.Image) string {
+	labels := map[uint32][]string{}
+	for name, addr := range img.Symbols {
+		labels[addr] = append(labels[addr], name)
+	}
+	var b strings.Builder
+	width := int(img.Enc.InstrBytes()) * 2
+	for _, e := range Text(img) {
+		for _, l := range labels[e.Addr] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "  %06x  %0*x  ", e.Addr, width, e.Raw)
+		if e.Err != nil {
+			fmt.Fprintf(&b, ".word %#x\n", e.Raw)
+			continue
+		}
+		b.WriteString(e.In.String())
+		if target, ok := branchTarget(e.In, e.Addr); ok {
+			if sym := img.SymbolAt(target); sym != "" {
+				fmt.Fprintf(&b, "\t; -> %#x (%s)", target, sym)
+			} else {
+				fmt.Fprintf(&b, "\t; -> %#x", target)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// branchTarget resolves the absolute target of PC-relative control
+// transfers and literal loads.
+func branchTarget(in isa.Instr, pc uint32) (uint32, bool) {
+	switch {
+	case in.Op.IsBranch(), in.Op == isa.LDC,
+		in.Op.IsJump() && in.HasImm:
+		return uint32(int64(pc) + int64(in.Imm)), true
+	}
+	return 0, false
+}

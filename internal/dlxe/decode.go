@@ -1,0 +1,163 @@
+package dlxe
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// DecodeError describes an instruction word with no defined decoding.
+type DecodeError struct {
+	Word uint32
+	PC   uint32
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("dlxe: undefined instruction %#08x at %#x", e.Word, e.PC)
+}
+
+func sext16(v uint32) int32 { return int32(int16(v)) }
+
+// Decode reconstructs the canonical instruction from a 32-bit DLXe word.
+// pc is the instruction's own address.
+func Decode(word uint32, pc uint32) (isa.Instr, error) {
+	op := word >> 26
+	switch op {
+	case opRType:
+		return decodeR(word, pc)
+
+	case opJ, opJl:
+		ioff := int32(word<<6) >> 6 // sign-extend 26 bits
+		o := isa.J
+		if op == opJl {
+			o = isa.JL
+		}
+		return isa.Instr{Op: o, Imm: ioff * Bytes, HasImm: true}, nil
+	}
+
+	rs1 := isa.R(int(word >> 21 & 0x1F))
+	rd := isa.R(int(word >> 16 & 0x1F))
+	imm := word & 0xFFFF
+
+	mem := func(o isa.Op) (isa.Instr, error) {
+		return isa.Instr{Op: o, Rd: rd, Rs1: rs1, Imm: sext16(imm)}, nil
+	}
+	alu := func(o isa.Op, signed bool) (isa.Instr, error) {
+		v := int32(imm)
+		if signed {
+			v = sext16(imm)
+		}
+		return isa.Instr{Op: o, Rd: rd, Rs1: rs1, Imm: v, HasImm: true}, nil
+	}
+
+	switch op {
+	case opLd:
+		return mem(isa.LD)
+	case opLdh:
+		return mem(isa.LDH)
+	case opLdhu:
+		return mem(isa.LDHU)
+	case opLdb:
+		return mem(isa.LDB)
+	case opLdbu:
+		return mem(isa.LDBU)
+	case opSt:
+		return mem(isa.ST)
+	case opSth:
+		return mem(isa.STH)
+	case opStb:
+		return mem(isa.STB)
+	case opAddi:
+		return alu(isa.ADDI, true)
+	case opSubi:
+		return alu(isa.SUBI, true)
+	case opAndi:
+		return alu(isa.ANDI, false)
+	case opOri:
+		return alu(isa.ORI, false)
+	case opXori:
+		return alu(isa.XORI, false)
+	case opShli:
+		return alu(isa.SHLI, true)
+	case opShri:
+		return alu(isa.SHRI, true)
+	case opShrai:
+		return alu(isa.SHRAI, true)
+	case opMvi:
+		return isa.Instr{Op: isa.MVI, Rd: rd, Imm: sext16(imm), HasImm: true}, nil
+	case opMvhi:
+		return isa.Instr{Op: isa.MVHI, Rd: rd, Imm: int32(imm), HasImm: true}, nil
+	case opBr, opBz, opBnz:
+		off := sext16(imm)
+		if off%Bytes != 0 {
+			return isa.Instr{}, &DecodeError{word, pc}
+		}
+		switch op {
+		case opBr:
+			return isa.Instr{Op: isa.BR, Imm: off}, nil
+		case opBz:
+			return isa.Instr{Op: isa.BZ, Rs1: rs1, Imm: off}, nil
+		default:
+			return isa.Instr{Op: isa.BNZ, Rs1: rs1, Imm: off}, nil
+		}
+	case opTrap:
+		return isa.Instr{Op: isa.TRAP, Imm: int32(imm), HasImm: true}, nil
+	}
+
+	if op >= opCmpi && op < opCmpi+10 {
+		return isa.Instr{Op: isa.CMP, Cond: isa.LT + isa.Cond(op-opCmpi),
+			Rd: rd, Rs1: rs1, Imm: sext16(imm), HasImm: true}, nil
+	}
+	return isa.Instr{}, &DecodeError{word, pc}
+}
+
+func decodeR(word uint32, pc uint32) (isa.Instr, error) {
+	rs1n := int(word >> 21 & 0x1F)
+	rs2n := int(word >> 16 & 0x1F)
+	rdn := int(word >> 11 & 0x1F)
+	fn := word & 0x7FF
+	op := isa.Op(fn >> 4)
+	cond := isa.Cond(fn & 0xF)
+	if int(op) >= isa.NumOps || int(cond) >= isa.NumConds {
+		return isa.Instr{}, &DecodeError{word, pc}
+	}
+	if cond != isa.CondNone && op != isa.CMP && !op.IsFCmp() {
+		return isa.Instr{}, &DecodeError{word, pc}
+	}
+
+	g, f := isa.R, isa.F
+	switch op {
+	case isa.NOP:
+		return isa.MakeNop(), nil
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SHRA:
+		return isa.Instr{Op: op, Rd: g(rdn), Rs1: g(rs1n), Rs2: g(rs2n)}, nil
+	case isa.MV:
+		return isa.Instr{Op: op, Rd: g(rdn), Rs1: g(rs1n)}, nil
+	case isa.CMP:
+		return isa.Instr{Op: op, Cond: cond, Rd: g(rdn), Rs1: g(rs1n), Rs2: g(rs2n)}, nil
+	case isa.J, isa.JZ, isa.JNZ, isa.JL:
+		return isa.Instr{Op: op, Rs1: g(rs1n)}, nil
+	case isa.RDSR:
+		return isa.Instr{Op: op, Rd: g(rdn)}, nil
+	case isa.FADDS, isa.FSUBS, isa.FMULS, isa.FDIVS,
+		isa.FADDD, isa.FSUBD, isa.FMULD, isa.FDIVD:
+		return isa.Instr{Op: op, Rd: f(rdn), Rs1: f(rs1n), Rs2: f(rs2n)}, nil
+	case isa.FNEGS, isa.FNEGD:
+		return isa.Instr{Op: op, Rd: f(rdn), Rs1: f(rs1n)}, nil
+	case isa.FCMPS, isa.FCMPD:
+		return isa.Instr{Op: op, Cond: cond, Rs1: f(rs1n), Rs2: f(rs2n)}, nil
+	case isa.CVTSISF, isa.CVTSIDF:
+		return isa.Instr{Op: op, Rd: f(rdn), Rs1: g(rs1n)}, nil
+	case isa.CVTDFSI, isa.CVTSFSI:
+		return isa.Instr{Op: op, Rd: g(rdn), Rs1: f(rs1n)}, nil
+	case isa.CVTSFDF, isa.CVTDFSF:
+		return isa.Instr{Op: op, Rd: f(rdn), Rs1: f(rs1n)}, nil
+	case isa.MVFL, isa.MVFH:
+		return isa.Instr{Op: op, Rd: f(rdn), Rs1: g(rs1n)}, nil
+	case isa.FMV:
+		return isa.Instr{Op: op, Rd: f(rdn), Rs1: f(rs1n)}, nil
+	case isa.MFFL, isa.MFFH:
+		return isa.Instr{Op: op, Rd: g(rdn), Rs1: f(rs1n)}, nil
+	}
+	return isa.Instr{}, &DecodeError{word, pc}
+}

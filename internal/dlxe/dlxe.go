@@ -1,0 +1,307 @@
+// Package dlxe implements the binary encoding of the 32-bit DLXe
+// instruction set (Figure 2 of the paper), a DLX variant with three
+// formats:
+//
+//	I-type  [31:26]=op  [25:21]=rs1  [20:16]=rd  [15:0]=imm
+//	R-type  [31:26]=0   [25:21]=rs1  [20:16]=rs2 [15:11]=rd  [10:0]=func
+//	J-type  [31:26]=op  [25:0]=offset (signed instruction-unit offset)
+//
+// All register-register operations are R-type; func encodes the semantic
+// operation (high 7 bits) and the compare condition (low 4 bits).
+// Arithmetic immediates, loads/stores and mvi sign-extend their 16-bit
+// field; logical immediates (andi/ori/xori) zero-extend; mvhi places its
+// 16-bit field in the upper half of the destination with zero low bits.
+//
+// Branch and J-type displacements are relative to the instruction's own
+// address, in bytes, and must be word aligned.
+package dlxe
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Bytes is the fixed DLXe instruction size.
+const Bytes = 4
+
+// I-type opcode assignments.
+const (
+	opRType = 0
+	opLd    = 1
+	opLdh   = 2
+	opLdhu  = 3
+	opLdb   = 4
+	opLdbu  = 5
+	opSt    = 6
+	opSth   = 7
+	opStb   = 8
+	opAddi  = 9
+	opSubi  = 10
+	opAndi  = 11
+	opOri   = 12
+	opXori  = 13
+	opShli  = 14
+	opShri  = 15
+	opShrai = 16
+	opMvi   = 17
+	opMvhi  = 18
+	opBr    = 19
+	opBz    = 20
+	opBnz   = 21
+	opTrap  = 22
+	opCmpi  = 32 // 32..41: cmpi.lt .ltu .le .leu .eq .ne .gt .gtu .ge .geu
+	opJ     = 60 // J-type
+	opJl    = 61 // J-type
+)
+
+// EncodeError describes an instruction the DLXe format cannot express.
+type EncodeError struct {
+	In  isa.Instr
+	Why string
+}
+
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("dlxe: cannot encode %q: %s", e.In.String(), e.Why)
+}
+
+func bad(in isa.Instr, why string, args ...any) error {
+	return &EncodeError{In: in, Why: fmt.Sprintf(why, args...)}
+}
+
+func reg5(in isa.Instr, r isa.Reg) (uint32, error) {
+	if !r.Valid() {
+		return 0, bad(in, "missing register operand")
+	}
+	return uint32(r.Num()), nil
+}
+
+func regOpt(r isa.Reg) uint32 {
+	if !r.Valid() {
+		return 0
+	}
+	return uint32(r.Num())
+}
+
+func encR(rs1, rs2, rd uint32, op isa.Op, cond isa.Cond) uint32 {
+	fn := uint32(op)<<4 | uint32(cond)
+	return rs1<<21 | rs2<<16 | rd<<11 | fn
+}
+
+func encI(op, rs1, rd uint32, imm uint32) uint32 {
+	return op<<26 | rs1<<21 | rd<<16 | imm&0xFFFF
+}
+
+func immS16(in isa.Instr, v int32) (uint32, error) {
+	if v < -32768 || v > 32767 {
+		return 0, bad(in, "immediate %d out of signed 16-bit range", v)
+	}
+	return uint32(v) & 0xFFFF, nil
+}
+
+func immU16(in isa.Instr, v int32) (uint32, error) {
+	if v < 0 || v > 0xFFFF {
+		return 0, bad(in, "immediate %d out of unsigned 16-bit range", v)
+	}
+	return uint32(v), nil
+}
+
+// Encode converts one canonical instruction into its 32-bit DLXe encoding.
+// pc is the instruction's own address (branch/J-type displacements in the
+// canonical form are relative to it).
+func Encode(in isa.Instr, pc uint32) (uint32, error) {
+	switch in.Op {
+	case isa.NOP:
+		return encR(0, 0, 0, isa.NOP, 0), nil
+
+	case isa.LD, isa.LDH, isa.LDHU, isa.LDB, isa.LDBU, isa.ST, isa.STH, isa.STB:
+		opc := map[isa.Op]uint32{
+			isa.LD: opLd, isa.LDH: opLdh, isa.LDHU: opLdhu,
+			isa.LDB: opLdb, isa.LDBU: opLdbu,
+			isa.ST: opSt, isa.STH: opSth, isa.STB: opStb,
+		}[in.Op]
+		rd, err := reg5(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := reg5(in, in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		imm, err := immS16(in, in.Imm)
+		if err != nil {
+			return 0, err
+		}
+		return encI(opc, rs1, rd, imm), nil
+
+	case isa.LDC:
+		return 0, bad(in, "ldc is D16-only")
+
+	case isa.BR, isa.BZ, isa.BNZ:
+		if in.Imm%Bytes != 0 {
+			return 0, bad(in, "branch displacement %d not word aligned", in.Imm)
+		}
+		imm, err := immS16(in, in.Imm)
+		if err != nil {
+			return 0, err
+		}
+		switch in.Op {
+		case isa.BR:
+			return encI(opBr, 0, 0, imm), nil
+		case isa.BZ:
+			rs1, err := reg5(in, in.Rs1)
+			if err != nil {
+				return 0, err
+			}
+			return encI(opBz, rs1, 0, imm), nil
+		default:
+			rs1, err := reg5(in, in.Rs1)
+			if err != nil {
+				return 0, err
+			}
+			return encI(opBnz, rs1, 0, imm), nil
+		}
+
+	case isa.J, isa.JL:
+		if in.HasImm {
+			if in.Imm%Bytes != 0 {
+				return 0, bad(in, "jump displacement %d not word aligned", in.Imm)
+			}
+			ioff := in.Imm / Bytes
+			if ioff < -(1<<25) || ioff >= 1<<25 {
+				return 0, bad(in, "jump displacement out of 26-bit range")
+			}
+			opc := uint32(opJ)
+			if in.Op == isa.JL {
+				opc = opJl
+			}
+			return opc<<26 | uint32(ioff)&0x3FFFFFF, nil
+		}
+		rs1, err := reg5(in, in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		return encR(rs1, 0, 0, in.Op, 0), nil
+
+	case isa.JZ, isa.JNZ:
+		if in.HasImm {
+			return 0, bad(in, "conditional jumps are register-absolute only")
+		}
+		rs1, err := reg5(in, in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		return encR(rs1, 0, 0, in.Op, 0), nil
+
+	case isa.CMP:
+		if in.Cond == isa.CondNone {
+			return 0, bad(in, "compare without condition")
+		}
+		rd, err := reg5(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := reg5(in, in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		if in.HasImm {
+			imm, err := immS16(in, in.Imm)
+			if err != nil {
+				return 0, err
+			}
+			return encI(opCmpi+uint32(in.Cond-isa.LT), rs1, rd, imm), nil
+		}
+		rs2, err := reg5(in, in.Rs2)
+		if err != nil {
+			return 0, err
+		}
+		return encR(rs1, rs2, rd, isa.CMP, in.Cond), nil
+
+	case isa.ADDI, isa.SUBI, isa.SHLI, isa.SHRI, isa.SHRAI:
+		opc := map[isa.Op]uint32{
+			isa.ADDI: opAddi, isa.SUBI: opSubi,
+			isa.SHLI: opShli, isa.SHRI: opShri, isa.SHRAI: opShrai,
+		}[in.Op]
+		rd, err := reg5(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := reg5(in, in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		imm, err := immS16(in, in.Imm)
+		if err != nil {
+			return 0, err
+		}
+		return encI(opc, rs1, rd, imm), nil
+
+	case isa.ANDI, isa.ORI, isa.XORI:
+		opc := map[isa.Op]uint32{isa.ANDI: opAndi, isa.ORI: opOri, isa.XORI: opXori}[in.Op]
+		rd, err := reg5(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := reg5(in, in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		imm, err := immU16(in, in.Imm)
+		if err != nil {
+			return 0, err
+		}
+		return encI(opc, rs1, rd, imm), nil
+
+	case isa.MVI:
+		rd, err := reg5(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		imm, err := immS16(in, in.Imm)
+		if err != nil {
+			return 0, err
+		}
+		return encI(opMvi, 0, rd, imm), nil
+
+	case isa.MVHI:
+		rd, err := reg5(in, in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		imm, err := immU16(in, in.Imm)
+		if err != nil {
+			return 0, err
+		}
+		return encI(opMvhi, 0, rd, imm), nil
+
+	case isa.TRAP:
+		imm, err := immU16(in, in.Imm)
+		if err != nil {
+			return 0, err
+		}
+		return encI(opTrap, 0, 0, imm), nil
+
+	case isa.NEG, isa.INV:
+		return 0, bad(in, "neg/inv are D16-only (r0 is always zero)")
+
+	default:
+		// Everything else is an R-type register-register operation.
+		rd := regOpt(in.Rd)
+		rs1 := regOpt(in.Rs1)
+		rs2 := regOpt(in.Rs2)
+		if in.HasImm {
+			return 0, bad(in, "no immediate form")
+		}
+		switch in.Op {
+		case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+			isa.SHL, isa.SHR, isa.SHRA, isa.MV,
+			isa.FADDS, isa.FSUBS, isa.FMULS, isa.FDIVS, isa.FNEGS, isa.FCMPS,
+			isa.FADDD, isa.FSUBD, isa.FMULD, isa.FDIVD, isa.FNEGD, isa.FCMPD,
+			isa.CVTSISF, isa.CVTSIDF, isa.CVTSFDF, isa.CVTDFSF, isa.CVTDFSI, isa.CVTSFSI,
+			isa.MVFL, isa.MVFH, isa.MFFL, isa.MFFH, isa.FMV, isa.RDSR:
+			return encR(rs1, rs2, rd, in.Op, in.Cond), nil
+		}
+		return 0, bad(in, "unsupported operation")
+	}
+}

@@ -1,0 +1,147 @@
+package dlxe
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func sampleInstrs() []isa.Instr {
+	r, f := isa.R, isa.F
+	return []isa.Instr{
+		isa.MakeNop(),
+		{Op: isa.LD, Rd: r(20), Rs1: r(2), Imm: 32760},
+		{Op: isa.LD, Rd: r(4), Rs1: r(13), Imm: -32768},
+		{Op: isa.LDH, Rd: r(4), Rs1: r(5), Imm: 14},
+		{Op: isa.LDHU, Rd: r(4), Rs1: r(5), Imm: -2},
+		{Op: isa.LDB, Rd: r(4), Rs1: r(5), Imm: 3},
+		{Op: isa.LDBU, Rd: r(4), Rs1: r(5), Imm: 1},
+		{Op: isa.ST, Rd: r(31), Rs1: r(2), Imm: 4},
+		{Op: isa.STH, Rd: r(4), Rs1: r(5), Imm: 2},
+		{Op: isa.STB, Rd: r(4), Rs1: r(5), Imm: 0},
+		{Op: isa.ADD, Rd: r(10), Rs1: r(20), Rs2: r(30)},
+		{Op: isa.SUB, Rd: r(1), Rs1: r(2), Rs2: r(3)},
+		{Op: isa.AND, Rd: r(1), Rs1: r(2), Rs2: r(3)},
+		{Op: isa.OR, Rd: r(1), Rs1: r(2), Rs2: r(3)},
+		{Op: isa.XOR, Rd: r(1), Rs1: r(2), Rs2: r(3)},
+		{Op: isa.SHL, Rd: r(1), Rs1: r(2), Rs2: r(3)},
+		{Op: isa.SHR, Rd: r(1), Rs1: r(2), Rs2: r(3)},
+		{Op: isa.SHRA, Rd: r(1), Rs1: r(2), Rs2: r(3)},
+		{Op: isa.ADDI, Rd: r(1), Rs1: r(2), Imm: 32767, HasImm: true},
+		{Op: isa.SUBI, Rd: r(1), Rs1: r(2), Imm: -32768, HasImm: true},
+		{Op: isa.ANDI, Rd: r(1), Rs1: r(2), Imm: 0xFFFF, HasImm: true},
+		{Op: isa.ORI, Rd: r(1), Rs1: r(2), Imm: 0x1234, HasImm: true},
+		{Op: isa.XORI, Rd: r(1), Rs1: r(2), Imm: 0, HasImm: true},
+		{Op: isa.SHLI, Rd: r(1), Rs1: r(2), Imm: 31, HasImm: true},
+		{Op: isa.SHRI, Rd: r(1), Rs1: r(2), Imm: 1, HasImm: true},
+		{Op: isa.SHRAI, Rd: r(1), Rs1: r(2), Imm: 16, HasImm: true},
+		{Op: isa.MV, Rd: r(6), Rs1: r(7)},
+		{Op: isa.MVI, Rd: r(6), Imm: -1, HasImm: true},
+		{Op: isa.MVHI, Rd: r(6), Imm: 0xDEAD, HasImm: true},
+		{Op: isa.CMP, Cond: isa.GEU, Rd: r(9), Rs1: r(10), Rs2: r(11)},
+		{Op: isa.CMP, Cond: isa.GT, Rd: r(9), Rs1: r(10), Imm: -7, HasImm: true},
+		{Op: isa.CMP, Cond: isa.LT, Rd: r(9), Rs1: r(10), Imm: 100, HasImm: true},
+		{Op: isa.BR, Imm: -32768},
+		{Op: isa.BZ, Rs1: r(9), Imm: 1024},
+		{Op: isa.BNZ, Rs1: r(9), Imm: -4},
+		{Op: isa.J, Rs1: r(12)},
+		{Op: isa.JZ, Rs1: r(12)},
+		{Op: isa.JNZ, Rs1: r(12)},
+		{Op: isa.JL, Rs1: r(12)},
+		{Op: isa.J, Imm: 4 * (1<<25 - 1), HasImm: true},
+		{Op: isa.JL, Imm: -4 * (1 << 25), HasImm: true},
+		{Op: isa.RDSR, Rd: r(17)},
+		{Op: isa.TRAP, Imm: 2, HasImm: true},
+		{Op: isa.FADDS, Rd: f(1), Rs1: f(2), Rs2: f(3)},
+		{Op: isa.FSUBD, Rd: f(31), Rs1: f(30), Rs2: f(29)},
+		{Op: isa.FMULD, Rd: f(8), Rs1: f(8), Rs2: f(8)},
+		{Op: isa.FDIVS, Rd: f(0), Rs1: f(1), Rs2: f(2)},
+		{Op: isa.FNEGS, Rd: f(5), Rs1: f(6)},
+		{Op: isa.FNEGD, Rd: f(5), Rs1: f(6)},
+		{Op: isa.FCMPS, Cond: isa.LE, Rs1: f(1), Rs2: f(2)},
+		{Op: isa.FCMPD, Cond: isa.NE, Rs1: f(1), Rs2: f(2)},
+		{Op: isa.CVTSISF, Rd: f(3), Rs1: r(4)},
+		{Op: isa.CVTSIDF, Rd: f(3), Rs1: r(4)},
+		{Op: isa.CVTSFDF, Rd: f(3), Rs1: f(4)},
+		{Op: isa.CVTDFSF, Rd: f(3), Rs1: f(4)},
+		{Op: isa.CVTDFSI, Rd: r(3), Rs1: f(4)},
+		{Op: isa.CVTSFSI, Rd: r(3), Rs1: f(4)},
+		{Op: isa.MVFL, Rd: f(3), Rs1: r(4)},
+		{Op: isa.MVFH, Rd: f(3), Rs1: r(4)},
+		{Op: isa.MFFL, Rd: r(3), Rs1: f(4)},
+		{Op: isa.MFFH, Rd: r(3), Rs1: f(4)},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	const pc = 0x1000
+	for _, in := range sampleInstrs() {
+		word, err := Encode(in, pc)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", in, err)
+			continue
+		}
+		got, err := Decode(word, pc)
+		if err != nil {
+			t.Errorf("Decode(Encode(%v)) = %#08x: %v", in, word, err)
+			continue
+		}
+		if got != in {
+			t.Errorf("round trip %v -> %#08x -> %v", in, word, got)
+		}
+	}
+}
+
+func TestEncodeRejections(t *testing.T) {
+	r := isa.R
+	cases := []struct {
+		name string
+		in   isa.Instr
+	}{
+		{"ldc", isa.Instr{Op: isa.LDC, Rd: isa.RegCC, Imm: 4}},
+		{"neg", isa.Instr{Op: isa.NEG, Rd: r(4), Rs1: r(4)}},
+		{"inv", isa.Instr{Op: isa.INV, Rd: r(4), Rs1: r(4)}},
+		{"wide imm", isa.Instr{Op: isa.ADDI, Rd: r(4), Rs1: r(4), Imm: 32768, HasImm: true}},
+		{"negative logical imm", isa.Instr{Op: isa.ORI, Rd: r(4), Rs1: r(4), Imm: -1, HasImm: true}},
+		{"wide displacement", isa.Instr{Op: isa.LD, Rd: r(4), Rs1: r(2), Imm: 32768}},
+		{"unaligned branch", isa.Instr{Op: isa.BR, Imm: 2}},
+		{"far branch", isa.Instr{Op: isa.BR, Imm: 65536}},
+		{"far jump", isa.Instr{Op: isa.J, Imm: 4 << 25, HasImm: true}},
+	}
+	for _, tc := range cases {
+		if _, err := Encode(tc.in, 0x1000); err == nil {
+			t.Errorf("%s: expected encode error for %v", tc.name, tc.in)
+		}
+	}
+}
+
+// TestDecodeCanonical checks that every word that decodes successfully
+// re-encodes to itself, across a structured sweep of the opcode space.
+func TestDecodeCanonical(t *testing.T) {
+	const pc = 0x1000
+	count := 0
+	for op := uint32(0); op < 64; op++ {
+		for fields := uint32(0); fields < 1<<11; fields += 37 {
+			word := op<<26 | fields<<15 | fields
+			in, err := Decode(word, pc)
+			if err != nil {
+				continue
+			}
+			back, err := Encode(in, pc)
+			if err != nil {
+				t.Fatalf("word %#08x decoded to %v which does not re-encode: %v", word, in, err)
+			}
+			again, err := Decode(back, pc)
+			if err != nil {
+				t.Fatalf("re-encoded word %#08x does not decode: %v", back, err)
+			}
+			if again != in {
+				t.Fatalf("word %#08x -> %v -> %#08x -> %v (not canonical)", word, in, back, again)
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatal("sweep decoded nothing")
+	}
+}

@@ -1,0 +1,174 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation. Each experiment renders the same rows/series the paper
+// reports as text tables; DESIGN.md carries the experiment index and
+// EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// Ctx carries the shared measurement lab and output sink.
+type Ctx struct {
+	Lab *core.Lab
+	W   io.Writer
+}
+
+func (c *Ctx) printf(format string, args ...any) {
+	fmt.Fprintf(c.W, format, args...)
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string // fig4, tab11, ...
+	Title string // the paper's caption
+	Run   func(*Ctx) error
+}
+
+var registry []*Experiment
+
+func register(id, title string, run func(*Ctx) error) {
+	registry = append(registry, &Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment, figures and tables interleaved in paper
+// order.
+func All() []*Experiment {
+	out := make([]*Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return orderOf(out[i].ID) < orderOf(out[j].ID) })
+	return out
+}
+
+// orderOf gives each experiment its position in the paper.
+func orderOf(id string) int {
+	order := []string{
+		"fig4", "fig5", "fig6", "fig7", "tab3", "fig8", "fig9", "fig10",
+		"tab4", "fig11", "fig12", "tab5", "fig13", "fig14", "fig15",
+		"fig16", "fig17", "fig18", "fig19", "tab6", "tab7", "tab8",
+		"tab9", "tab10", "tab11", "tab12", "tab13", "tab14", "tab15",
+		"tab16", "ablate-relax", "ablate-cmp8", "ablate-cache",
+	}
+	for i, x := range order {
+		if x == id {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// ByID returns the named experiment or nil.
+func ByID(id string) *Experiment {
+	for _, e := range registry {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// The five configurations, by the paper's column names.
+var (
+	cfgD16  = isa.D16()
+	cfgX162 = isa.TwoAddress(isa.RestrictRegs(isa.DLXe(), 16))
+	cfgX163 = isa.RestrictRegs(isa.DLXe(), 16)
+	cfgX322 = isa.TwoAddress(isa.DLXe())
+	cfgX323 = isa.DLXe()
+)
+
+func allConfigs() []*isa.Spec {
+	return []*isa.Spec{cfgD16, cfgX162, cfgX163, cfgX322, cfgX323}
+}
+
+// suiteMeasurements measures the whole suite under one configuration.
+func (c *Ctx) suiteMeasurements(spec *isa.Spec) (map[string]*core.Measurement, error) {
+	out := map[string]*core.Measurement{}
+	for _, b := range bench.All() {
+		m, err := c.Lab.Measure(b, spec)
+		if err != nil {
+			return nil, err
+		}
+		out[b.Name] = m
+	}
+	return out, nil
+}
+
+// --- text table rendering ---------------------------------------------------
+
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) render(w io.Writer) {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(w, "%-*s", width[i], c)
+			} else {
+				fmt.Fprintf(w, "%*s", width[i], c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.header)
+	var sep []string
+	for i := range t.header {
+		sep = append(sep, strings.Repeat("-", width[i]))
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f", v*100) }
+func i64(v int64) string   { return fmt.Sprintf("%d", v) }
+
+// geomean-free averaging: the paper reports arithmetic means of ratios.
+func mean(vals []float64) float64 {
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+func stddev(vals []float64) float64 {
+	if len(vals) <= 1 {
+		return 0
+	}
+	m := mean(vals)
+	s := 0.0
+	for _, v := range vals {
+		s += (v - m) * (v - m)
+	}
+	// Population standard deviation, as small-sample papers usually report.
+	return math.Sqrt(s / float64(len(vals)))
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRegistryCoversThePaper(t *testing.T) {
+	// Every evaluation artifact of the paper must be registered.
+	wanted := []string{
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19",
+		"tab3", "tab4", "tab5", "tab6", "tab7", "tab8", "tab9", "tab10",
+		"tab11", "tab12", "tab13", "tab14", "tab15", "tab16",
+	}
+	for _, id := range wanted {
+		if ByID(id) == nil {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if ByID("fig99") != nil {
+		t.Error("ByID invented an experiment")
+	}
+	// Paper order is preserved.
+	all := All()
+	idx := map[string]int{}
+	for i, e := range all {
+		idx[e.ID] = i
+	}
+	if !(idx["fig4"] < idx["tab3"] && idx["tab3"] < idx["fig16"] && idx["fig16"] < idx["tab14"]) {
+		t.Error("experiments out of paper order")
+	}
+	for _, e := range all {
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incompletely registered", e.ID)
+		}
+	}
+}
+
+// TestHeadlineExperiments runs the two central experiments end-to-end
+// and checks the paper's qualitative claims hold on this build.
+func TestHeadlineExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	lab := core.NewLab()
+
+	var out strings.Builder
+	ctx := &Ctx{Lab: lab, W: &out}
+	if err := ByID("fig5").Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := ByID("tab11").Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+
+	// fig5: DLXe executes fewer instructions (AVERAGE below 1).
+	if !strings.Contains(text, "AVERAGE") {
+		t.Fatal("no averages rendered")
+	}
+
+	// tab11: the crossover — D16 behind at l=0 (ratio < 1) and ahead by
+	// l=3 (ratio > 1). Parse the MEAN row.
+	var mean []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "MEAN") {
+			mean = strings.Fields(line)
+		}
+	}
+	if len(mean) != 5 {
+		t.Fatalf("MEAN row not found in:\n%s", text)
+	}
+	if !(mean[1] < "1.00" && mean[4] > "1.00") { // string compare works for d.dd
+		t.Errorf("crossover shape wrong: %v", mean)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var out strings.Builder
+	tb := &table{header: []string{"name", "value"}}
+	tb.row("alpha", "1.00")
+	tb.row("b", "22.50")
+	tb.render(&out)
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines", len(lines))
+	}
+	// Columns align: every line has the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("header/separator misaligned:\n%s", out.String())
+	}
+}
+
+func TestStatHelpers(t *testing.T) {
+	if m := mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("mean = %v", m)
+	}
+	if s := stddev([]float64{2, 2, 2}); s != 0 {
+		t.Errorf("stddev of constants = %v", s)
+	}
+	if s := stddev([]float64{1, 3}); s != 1 {
+		t.Errorf("stddev = %v, want 1", s)
+	}
+	if stddev([]float64{5}) != 0 {
+		t.Error("single-element stddev should be 0")
+	}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// The static code-density and path-length experiments of Section 3:
+// Figures 4-12 and Tables 5-7.
+
+func init() {
+	register("fig4", "Figure 4: D16 relative density (DLXe bytes / D16 bytes)", figDensityRatio)
+	register("fig5", "Figure 5: DLXe path length reduction (DLXe/D16, D16 = 1.0)", figPathRatio)
+	register("fig6", "Figure 6: density effects of 16 vs 32 registers (D16 = 1.00)", figRegDensity)
+	register("fig7", "Figure 7: path length effects, 16 vs 32 registers (D16 = 1.0)", figRegPath)
+	register("fig8", "Figure 8: code density effects, two-address instructions (D16 = 1.00)", figAddrDensity)
+	register("fig9", "Figure 9: path length effects, two-address instructions (D16 = 1.0)", figAddrPath)
+	register("fig10", "Figure 10: effect of large immediates on path lengths (speedup, D16 = 1.00)", figImmediates)
+	register("fig11", "Figure 11: code density summary (all configurations, ratios to D16)", figDensitySummary)
+	register("fig12", "Figure 12: path length summary (all configurations, ratios to D16)", figPathSummary)
+	register("tab5", "Table 5: summary of density and path length effects (suite averages)", tabSummary)
+	register("tab6", "Table 6: code size/density summary (bytes per configuration)", tabCodeSize)
+	register("tab7", "Table 7: path length summary (instructions per configuration)", tabPathLen)
+}
+
+// ratioTable prints per-benchmark ratios metric(spec)/metric(base).
+func (c *Ctx) ratioTable(specs []*isa.Spec,
+	metric func(*core.Measurement) float64) error {
+
+	t := &table{header: []string{"program"}}
+	for _, s := range specs {
+		t.header = append(t.header, s.Name)
+	}
+	base, err := c.suiteMeasurements(cfgD16)
+	if err != nil {
+		return err
+	}
+	cols := make([]map[string]*core.Measurement, len(specs))
+	for i, s := range specs {
+		cols[i], err = c.suiteMeasurements(s)
+		if err != nil {
+			return err
+		}
+	}
+	avgs := make([][]float64, len(specs))
+	for _, b := range bench.All() {
+		row := []string{b.Name}
+		for i := range specs {
+			r := metric(cols[i][b.Name]) / metric(base[b.Name])
+			avgs[i] = append(avgs[i], r)
+			row = append(row, f2(r))
+		}
+		t.row(row...)
+	}
+	avgRow := []string{"AVERAGE"}
+	for i := range specs {
+		avgRow = append(avgRow, f2(mean(avgs[i])))
+	}
+	t.row(avgRow...)
+	t.render(c.W)
+	return nil
+}
+
+func sizeOf(m *core.Measurement) float64 { return float64(m.Size) }
+func pathOf(m *core.Measurement) float64 { return float64(m.Stats.Instrs) }
+
+func figDensityRatio(c *Ctx) error {
+	c.printf("D16 relative density: static code size DLXe / D16 (paper: avg ~1.5)\n")
+	c.printf("(binary = text+data as the paper counts; the text column factors out\n")
+	c.printf("the embedded input data our scaled benchmarks carry)\n\n")
+	base, err := c.suiteMeasurements(cfgD16)
+	if err != nil {
+		return err
+	}
+	x, err := c.suiteMeasurements(cfgX323)
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"program", "binary", "text only"}}
+	var rb, rt []float64
+	for _, b := range bench.All() {
+		r1 := float64(x[b.Name].Size) / float64(base[b.Name].Size)
+		r2 := float64(x[b.Name].TextBytes) / float64(base[b.Name].TextBytes)
+		rb, rt = append(rb, r1), append(rt, r2)
+		t.row(b.Name, f2(r1), f2(r2))
+	}
+	t.row("AVERAGE", f2(mean(rb)), f2(mean(rt)))
+	t.render(c.W)
+	return nil
+}
+
+func figPathRatio(c *Ctx) error {
+	c.printf("DLXe path lengths relative to D16 (paper: avg ~0.87, \"15%% speedup\")\n\n")
+	return c.ratioTable([]*isa.Spec{cfgX323}, pathOf)
+}
+
+func figRegDensity(c *Ctx) error {
+	c.printf("Density with 16 vs 32 registers (three-address DLXe, D16 = 1.00)\n\n")
+	return c.ratioTable([]*isa.Spec{cfgX163, cfgX323}, sizeOf)
+}
+
+func figRegPath(c *Ctx) error {
+	c.printf("Path length with 16 vs 32 registers (three-address DLXe, D16 = 1.0)\n\n")
+	return c.ratioTable([]*isa.Spec{cfgX163, cfgX323}, pathOf)
+}
+
+func figAddrDensity(c *Ctx) error {
+	c.printf("Density with two- vs three-address DLXe (16 and 32 registers, D16 = 1.00)\n\n")
+	return c.ratioTable([]*isa.Spec{cfgX162, cfgX163, cfgX322, cfgX323}, sizeOf)
+}
+
+func figAddrPath(c *Ctx) error {
+	c.printf("Path length with two- vs three-address DLXe (D16 = 1.0)\n\n")
+	return c.ratioTable([]*isa.Spec{cfgX162, cfgX163, cfgX322, cfgX323}, pathOf)
+}
+
+// figImmediates: DLXe restricted to D16's register file and two-address
+// form still has its big immediates/displacements; its speedup over D16
+// isolates the immediate-field advantage (paper: ~10%).
+func figImmediates(c *Ctx) error {
+	c.printf("Speedup from DLXe immediates and offsets (DLXe/16/2 vs D16; >1 = faster)\n\n")
+	base, err := c.suiteMeasurements(cfgD16)
+	if err != nil {
+		return err
+	}
+	rest, err := c.suiteMeasurements(cfgX162)
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"program", "speedup"}}
+	var rs []float64
+	for _, b := range bench.All() {
+		r := pathOf(base[b.Name]) / pathOf(rest[b.Name])
+		rs = append(rs, r)
+		t.row(b.Name, f2(r))
+	}
+	t.row("AVERAGE", f2(mean(rs)))
+	t.render(c.W)
+	return nil
+}
+
+func figDensitySummary(c *Ctx) error {
+	c.printf("Code size ratios DLXe/D16, all four DLXe configurations\n\n")
+	return c.ratioTable([]*isa.Spec{cfgX162, cfgX163, cfgX322, cfgX323}, sizeOf)
+}
+
+func figPathSummary(c *Ctx) error {
+	c.printf("Path length ratios DLXe/D16, all four DLXe configurations\n\n")
+	return c.ratioTable([]*isa.Spec{cfgX162, cfgX163, cfgX322, cfgX323}, pathOf)
+}
+
+func tabSummary(c *Ctx) error {
+	c.printf("Suite-average ratios to D16 (paper: size 1.62/1.61/1.57/1.53, path .95/.94/.90/.87)\n\n")
+	base, err := c.suiteMeasurements(cfgD16)
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"measure", "regs", "two-address", "three-address"}}
+	for _, metric := range []struct {
+		name string
+		f    func(*core.Measurement) float64
+	}{{"code size", sizeOf}, {"path length", pathOf}} {
+		for _, regs := range []struct {
+			label      string
+			two, three *isa.Spec
+		}{{"16", cfgX162, cfgX163}, {"32", cfgX322, cfgX323}} {
+			var r2, r3 []float64
+			m2, err := c.suiteMeasurements(regs.two)
+			if err != nil {
+				return err
+			}
+			m3, err := c.suiteMeasurements(regs.three)
+			if err != nil {
+				return err
+			}
+			for _, b := range bench.All() {
+				r2 = append(r2, metric.f(m2[b.Name])/metric.f(base[b.Name]))
+				r3 = append(r3, metric.f(m3[b.Name])/metric.f(base[b.Name]))
+			}
+			t.row(metric.name, regs.label, f2(mean(r2)), f2(mean(r3)))
+		}
+	}
+	t.render(c.W)
+	return nil
+}
+
+// tabCodeSize prints Table 6: absolute sizes for every configuration.
+func tabCodeSize(c *Ctx) error {
+	return c.absoluteTable(func(m *core.Measurement) string { return i64(int64(m.Size)) },
+		"bytes (text+data)")
+}
+
+// tabPathLen prints Table 7: absolute path lengths.
+func tabPathLen(c *Ctx) error {
+	return c.absoluteTable(func(m *core.Measurement) string { return i64(m.Stats.Instrs) },
+		"dynamic instructions")
+}
+
+func (c *Ctx) absoluteTable(cell func(*core.Measurement) string, what string) error {
+	c.printf("Per-program %s for each ISA/registers/operands configuration\n\n", what)
+	t := &table{header: []string{"program"}}
+	cols := allConfigs()
+	for _, s := range cols {
+		t.header = append(t.header, s.Name)
+	}
+	ms := make([]map[string]*core.Measurement, len(cols))
+	for i, s := range cols {
+		var err error
+		ms[i], err = c.suiteMeasurements(s)
+		if err != nil {
+			return err
+		}
+	}
+	for _, b := range bench.All() {
+		row := []string{b.Name}
+		for i := range cols {
+			row = append(row, cell(ms[i][b.Name]))
+		}
+		t.row(row...)
+	}
+	t.render(c.W)
+	return nil
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"repro/internal/bench"
+)
+
+// Traffic and instruction-mix experiments: Figure 13, Tables 3, 4, 8, 9, 10.
+
+func init() {
+	register("tab3", "Table 3: data traffic increase for the smaller register file (%)", tabDataTraffic)
+	register("tab4", "Table 4: average immediate-field instruction frequencies", tabImmFreq)
+	register("fig13", "Figure 13: instruction traffic vs code size (DLXe/D16)", figTrafficVsSize)
+	register("tab8", "Table 8: path length and instruction traffic (32-bit words)", tabPathTraffic)
+	register("tab9", "Table 9: total loads and stores", tabLoadsStores)
+	register("tab10", "Table 10: delayed load and math unit interlocks", tabInterlocks)
+}
+
+// tabDataTraffic reproduces Table 3: loads+stores of D16 and DLXe/16
+// relative to DLXe/32 (three-address forms), in percent increase.
+func tabDataTraffic(c *Ctx) error {
+	c.printf("Data traffic (loads+stores) increase over DLXe/32 (paper avg: D16 ~10%%, DLXe-16 ~9%%)\n\n")
+	d16, err := c.suiteMeasurements(cfgD16)
+	if err != nil {
+		return err
+	}
+	x16, err := c.suiteMeasurements(cfgX163)
+	if err != nil {
+		return err
+	}
+	x32, err := c.suiteMeasurements(cfgX323)
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"program", "D16 %", "DLXe-16 %"}}
+	var a1, a2 []float64
+	for _, b := range bench.All() {
+		base := float64(x32[b.Name].Stats.DataOps())
+		p1 := (float64(d16[b.Name].Stats.DataOps()) - base) / base
+		p2 := (float64(x16[b.Name].Stats.DataOps()) - base) / base
+		a1, a2 = append(a1, p1), append(a2, p2)
+		t.row(b.Name, pct(p1), pct(p2))
+	}
+	t.row("AVERAGE", pct(mean(a1)), pct(mean(a2)))
+	t.render(c.W)
+	return nil
+}
+
+// tabImmFreq reproduces Table 4: the dynamic frequency of DLXe
+// instructions whose immediates exceed D16's fields, measured on the
+// restricted DLXe/16/2 machine (the paper's comparison baseline).
+func tabImmFreq(c *Ctx) error {
+	c.printf("Dynamic frequency of immediates beyond D16 limits on DLXe/16/2\n")
+	c.printf("(paper: cmp-imm 2.1%%, ALU imm >5 bits 2.8%%, mem disp >8 bits 4.6%%, total 9.5%%)\n\n")
+	ms, err := c.suiteMeasurements(cfgX162)
+	if err != nil {
+		return err
+	}
+	var cmpR, aluR, memR, mviR, callR []float64
+	t := &table{header: []string{"program", "cmp-imm %", "alu-imm %", "mem-disp %", "wide-mvi %", "far-call %", "total %"}}
+	for _, b := range bench.All() {
+		s := ms[b.Name].Imm
+		tot := float64(s.Total)
+		cr, ar, mr := float64(s.CmpImm)/tot, float64(s.WideALU)/tot, float64(s.WideMem)/tot
+		vr, fr := float64(s.WideMVI)/tot, float64(s.FarCalls)/tot
+		cmpR, aluR, memR = append(cmpR, cr), append(aluR, ar), append(memR, mr)
+		mviR, callR = append(mviR, vr), append(callR, fr)
+		t.row(b.Name, pct(cr), pct(ar), pct(mr), pct(vr), pct(fr), pct(cr+ar+mr+vr+fr))
+	}
+	t.row("AVERAGE", pct(mean(cmpR)), pct(mean(aluR)), pct(mean(memR)),
+		pct(mean(mviR)), pct(mean(callR)),
+		pct(mean(cmpR)+mean(aluR)+mean(memR)+mean(mviR)+mean(callR)))
+	t.render(c.W)
+	return nil
+}
+
+// figTrafficVsSize tests Steenkiste's uniformity assumption: the
+// DLXe/D16 instruction-traffic ratio should track the static-size ratio.
+func figTrafficVsSize(c *Ctx) error {
+	c.printf("Instruction traffic (32-bit words fetched) and static size, DLXe/D16\n\n")
+	d16, err := c.suiteMeasurements(cfgD16)
+	if err != nil {
+		return err
+	}
+	x32, err := c.suiteMeasurements(cfgX323)
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"program", "traffic ratio", "static ratio"}}
+	var tr, sr []float64
+	for _, b := range bench.All() {
+		r1 := float64(x32[b.Name].Stats.FetchWords) / float64(d16[b.Name].Stats.FetchWords)
+		r2 := float64(x32[b.Name].TextBytes) / float64(d16[b.Name].TextBytes)
+		tr, sr = append(tr, r1), append(sr, r2)
+		t.row(b.Name, f2(r1), f2(r2))
+	}
+	t.row("AVERAGE", f2(mean(tr)), f2(mean(sr)))
+	t.render(c.W)
+	return nil
+}
+
+// tabPathTraffic reproduces Table 8: path length vs instruction words
+// fetched, with D16's percentage traffic reduction.
+func tabPathTraffic(c *Ctx) error {
+	c.printf("Path length vs instruction traffic in words (paper: D16 reduction avg 35.6%%)\n\n")
+	d16, err := c.suiteMeasurements(cfgD16)
+	if err != nil {
+		return err
+	}
+	x32, err := c.suiteMeasurements(cfgX323)
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"program", "path D16", "path DLXe", "words D16", "words DLXe", "reduction %"}}
+	var reds []float64
+	for _, b := range bench.All() {
+		wd, wx := d16[b.Name].Stats.FetchWords, x32[b.Name].Stats.FetchWords
+		red := (float64(wx) - float64(wd)) / float64(wx)
+		reds = append(reds, red)
+		t.row(b.Name, i64(d16[b.Name].Stats.Instrs), i64(x32[b.Name].Stats.Instrs),
+			i64(wd), i64(wx), pct(red))
+	}
+	t.row("AVERAGE", "", "", "", "", pct(mean(reds)))
+	t.render(c.W)
+	return nil
+}
+
+// tabLoadsStores reproduces Table 9.
+func tabLoadsStores(c *Ctx) error {
+	c.printf("Total loads and stores (D16 vs DLXe; %% = DLXe advantage)\n\n")
+	d16, err := c.suiteMeasurements(cfgD16)
+	if err != nil {
+		return err
+	}
+	x32, err := c.suiteMeasurements(cfgX323)
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"program", "D16", "DLXe", "increase %"}}
+	var incs []float64
+	for _, b := range bench.All() {
+		md, mx := d16[b.Name].Stats.DataOps(), x32[b.Name].Stats.DataOps()
+		inc := (float64(md) - float64(mx)) / float64(mx)
+		incs = append(incs, inc)
+		t.row(b.Name, i64(md), i64(mx), pct(inc))
+	}
+	t.row("AVERAGE", "", "", pct(mean(incs)))
+	t.render(c.W)
+	return nil
+}
+
+// tabInterlocks reproduces Table 10.
+func tabInterlocks(c *Ctx) error {
+	c.printf("Delayed-load and math-unit interlocks (paper mean rates: D16 .104, DLXe .122)\n\n")
+	d16, err := c.suiteMeasurements(cfgD16)
+	if err != nil {
+		return err
+	}
+	x32, err := c.suiteMeasurements(cfgX323)
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"program",
+		"D16 instrs", "D16 interlocks", "D16 rate",
+		"DLXe instrs", "DLXe interlocks", "DLXe rate"}}
+	var rd, rx []float64
+	for _, b := range bench.All() {
+		d, x := d16[b.Name].Stats, x32[b.Name].Stats
+		r1 := float64(d.Interlocks) / float64(d.Instrs)
+		r2 := float64(x.Interlocks) / float64(x.Instrs)
+		rd, rx = append(rd, r1), append(rx, r2)
+		t.row(b.Name, i64(d.Instrs), i64(d.Interlocks), f3(r1),
+			i64(x.Instrs), i64(x.Interlocks), f3(r2))
+	}
+	t.row("MEAN", "", "", f3(mean(rd)), "", "", f3(mean(rx)))
+	t.render(c.W)
+	return nil
+}

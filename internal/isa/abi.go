@@ -1,0 +1,110 @@
+package isa
+
+// The calling convention fixed by this reproduction (DESIGN.md §4). Both
+// instruction sets share it so that density and path-length comparisons
+// isolate encoding effects, exactly as the paper's equal-resources
+// methodology requires.
+//
+//	r0   condition register (D16) / hardwired zero (DLXe) — not allocatable
+//	r1   link register (written by jl)
+//	r2   stack pointer
+//	r3   first argument / return value
+//	r3-r6    integer argument registers, caller-saved
+//	r7-r12   callee-saved
+//	r13  global pointer (base of .data)
+//	r14-r15  caller-saved temporaries
+//	r16-r23  callee-saved (DLXe/32 only)
+//	r24-r31  caller-saved (DLXe/32 only)
+//
+//	f1-f4    FP argument registers / f1 return value, caller-saved
+//	f0,f5-f7 caller-saved temporaries
+//	f8-f15   callee-saved
+//	f16-f23  callee-saved (DLXe/32 only)
+//	f24-f31  caller-saved (DLXe/32 only)
+
+// NumArgRegs is the number of integer (and FP) argument registers.
+const NumArgRegs = 4
+
+// ArgReg returns the i'th integer argument register (0-based, i < NumArgRegs).
+func ArgReg(i int) Reg { return R(3 + i) }
+
+// FArgReg returns the i'th FP argument register.
+func FArgReg(i int) Reg { return F(1 + i) }
+
+// RetReg is the integer return-value register.
+var RetReg = R(3)
+
+// FRetReg is the FP return-value register.
+var FRetReg = F(1)
+
+// ScratchGPRs are the two integer registers the code generator reserves
+// for operand shuffling, spill access and immediate materialization. They
+// are reserved uniformly on every target configuration so that measured
+// register-file effects compare like with like.
+func ScratchGPRs() [2]Reg { return [2]Reg{R(14), R(15)} }
+
+// ScratchFPRs are the reserved floating-point scratch registers.
+func ScratchFPRs() [2]Reg { return [2]Reg{F(6), F(7)} }
+
+// AllocatableGPRs returns the general registers available to the register
+// allocator under spec, in preference order: caller-saved temporaries
+// first (cheap), then callee-saved (require save/restore in the prologue).
+func AllocatableGPRs(s *Spec) []Reg {
+	regs := []Reg{R(3), R(4), R(5), R(6)}
+	if s.NumGPR > 16 {
+		for i := 24; i < s.NumGPR; i++ {
+			regs = append(regs, R(i))
+		}
+	}
+	for i := 7; i <= 12; i++ {
+		regs = append(regs, R(i))
+	}
+	if s.NumGPR > 16 {
+		for i := 16; i < 24 && i < s.NumGPR; i++ {
+			regs = append(regs, R(i))
+		}
+	}
+	return regs
+}
+
+// AllocatableFPRs returns the floating-point registers available to the
+// allocator under spec, caller-saved first.
+func AllocatableFPRs(s *Spec) []Reg {
+	regs := []Reg{F(1), F(2), F(3), F(4), F(0), F(5)}
+	if s.NumFPR > 16 {
+		for i := 24; i < s.NumFPR; i++ {
+			regs = append(regs, F(i))
+		}
+	}
+	for i := 8; i <= 15; i++ {
+		regs = append(regs, F(i))
+	}
+	if s.NumFPR > 16 {
+		for i := 16; i < 24 && i < s.NumFPR; i++ {
+			regs = append(regs, F(i))
+		}
+	}
+	return regs
+}
+
+// CalleeSaved reports whether r must be preserved across calls.
+func CalleeSaved(r Reg) bool {
+	n := r.Num()
+	if r.IsFPR() {
+		return (n >= 8 && n <= 15) || (n >= 16 && n <= 23)
+	}
+	return (n >= 7 && n <= 12) || (n >= 16 && n <= 23)
+}
+
+// Standard memory map for linked programs (see prog package).
+const (
+	// TextBase is where the text segment is loaded.
+	TextBase uint32 = 0x1000
+	// DataBase is where the data segment is loaded; RegGP points here
+	// at startup.
+	DataBase uint32 = 0x40000
+	// StackTop is the initial stack pointer (stack grows down).
+	StackTop uint32 = 0x200000
+	// MemSize is the size of simulated physical memory.
+	MemSize uint32 = 0x200000
+)

@@ -1,0 +1,166 @@
+package isa
+
+import "fmt"
+
+// Cond is a compare condition. The paper's D16 supports only the first six
+// (lt ltu le leu eq ne) with register operands; DLXe adds the gt/gtu/ge/geu
+// forms and immediate right operands. The compiler legalizes a gt-form
+// compare for D16 by swapping operands.
+type Cond uint8
+
+const (
+	CondNone Cond = iota
+	LT            // signed less-than
+	LTU           // unsigned less-than
+	LE            // signed less-or-equal
+	LEU           // unsigned less-or-equal
+	EQ            // equal
+	NE            // not equal
+	GT            // signed greater-than (DLXe only)
+	GTU           // unsigned greater-than (DLXe only)
+	GE            // signed greater-or-equal (DLXe only)
+	GEU           // unsigned greater-or-equal (DLXe only)
+
+	condCount
+)
+
+// NumConds is the number of defined conditions including CondNone.
+const NumConds = int(condCount)
+
+var condNames = [...]string{
+	CondNone: "",
+	LT:       "lt", LTU: "ltu", LE: "le", LEU: "leu", EQ: "eq", NE: "ne",
+	GT: "gt", GTU: "gtu", GE: "ge", GEU: "geu",
+}
+
+// String returns the condition suffix used in assembly (e.g. "lt").
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// CondByName maps an assembly condition suffix to its value; it returns
+// CondNone for unknown names.
+func CondByName(name string) Cond {
+	for c, n := range condNames {
+		if n == name && n != "" {
+			return Cond(c)
+		}
+	}
+	return CondNone
+}
+
+// Swapped returns the condition that holds for (b ? a) when c holds for
+// (a ? b): lt <-> gt, le <-> ge, eq/ne unchanged. This is how a D16 code
+// generator expresses the greater-than forms it lacks.
+func (c Cond) Swapped() Cond {
+	switch c {
+	case LT:
+		return GT
+	case LTU:
+		return GTU
+	case LE:
+		return GE
+	case LEU:
+		return GEU
+	case GT:
+		return LT
+	case GTU:
+		return LTU
+	case GE:
+		return LE
+	case GEU:
+		return LEU
+	default:
+		return c
+	}
+}
+
+// Negated returns the complementary condition (eq <-> ne, lt <-> ge, ...).
+func (c Cond) Negated() Cond {
+	switch c {
+	case LT:
+		return GE
+	case LTU:
+		return GEU
+	case LE:
+		return GT
+	case LEU:
+		return GTU
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case GT:
+		return LE
+	case GTU:
+		return LEU
+	case GE:
+		return LT
+	case GEU:
+		return LTU
+	default:
+		return c
+	}
+}
+
+// D16Legal reports whether a D16 compare can express the condition
+// directly (without operand swapping).
+func (c Cond) D16Legal() bool {
+	switch c {
+	case LT, LTU, LE, LEU, EQ, NE:
+		return true
+	}
+	return false
+}
+
+// EvalInt applies the condition to two 32-bit integer operands.
+func (c Cond) EvalInt(a, b int32) bool {
+	switch c {
+	case LT:
+		return a < b
+	case LTU:
+		return uint32(a) < uint32(b)
+	case LE:
+		return a <= b
+	case LEU:
+		return uint32(a) <= uint32(b)
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case GT:
+		return a > b
+	case GTU:
+		return uint32(a) > uint32(b)
+	case GE:
+		return a >= b
+	case GEU:
+		return uint32(a) >= uint32(b)
+	default:
+		return false
+	}
+}
+
+// EvalFloat applies the condition to two float64 operands (FP compares use
+// only the ordered signed forms).
+func (c Cond) EvalFloat(a, b float64) bool {
+	switch c {
+	case LT, LTU:
+		return a < b
+	case LE, LEU:
+		return a <= b
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case GT, GTU:
+		return a > b
+	case GE, GEU:
+		return a >= b
+	default:
+		return false
+	}
+}

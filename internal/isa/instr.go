@@ -1,0 +1,148 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is one decoded machine instruction in the canonical three-address
+// form. Encoders map it onto a concrete 16- or 32-bit word (collapsing
+// Rd==Rs1 for two-address D16 operations); decoders reconstruct it.
+//
+// Field usage by operation class:
+//
+//	loads/stores:  Rd = data register, Rs1 = base register, Imm = byte
+//	               displacement (LDC: Imm = PC-relative byte displacement,
+//	               Rd = r0, Rs1 = NoReg)
+//	branches:      Rs1 = tested register (BZ/BNZ), Imm = byte displacement
+//	               from the branch's own address
+//	jumps:         Rs1 = target-address register, or HasImm with Imm = the
+//	               absolute target (DLXe J-type)
+//	cmp:           Cond set; Rd = destination (r0 on D16), Rs1/Rs2 operands,
+//	               or HasImm with Imm as right operand (DLXe)
+//	ALU:           Rd = destination, Rs1/Rs2 sources; immediate forms use
+//	               Rs1 + Imm
+//	mvi/mvhi:      Rd + Imm
+//	trap:          Imm = trap code, Rs1 = optional argument register
+type Instr struct {
+	Op     Op
+	Cond   Cond
+	Rd     Reg
+	Rs1    Reg
+	Rs2    Reg
+	Imm    int32
+	HasImm bool
+}
+
+// MakeNop returns the canonical no-operation instruction.
+func MakeNop() Instr { return Instr{Op: NOP} }
+
+// Uses returns the registers the instruction reads, appended to dst
+// (which may be nil). The CC register r0 is included where the operation
+// implicitly reads it (D16-style bz/bnz record Rs1 = r0 explicitly, so no
+// extra handling is needed here).
+func (in Instr) Uses(dst []Reg) []Reg {
+	add := func(r Reg) {
+		if r.Valid() {
+			dst = append(dst, r)
+		}
+	}
+	switch {
+	case in.Op.IsStore():
+		add(in.Rd) // stored value
+		add(in.Rs1)
+	case in.Op.IsLoad():
+		add(in.Rs1)
+	case in.Op == MVI || in.Op == MVHI || in.Op == NOP || in.Op == LDC:
+		// no register sources (MVHI on DLXe replaces the low half with
+		// zeros in this reproduction's semantics; see dlxe package)
+	default:
+		add(in.Rs1)
+		add(in.Rs2)
+	}
+	return dst
+}
+
+// Def returns the register the instruction writes, or NoReg.
+func (in Instr) Def() Reg {
+	switch {
+	case in.Op.IsStore(), in.Op.IsBranch() && in.Op != BR:
+		return NoReg
+	case in.Op == BR, in.Op == J, in.Op == JZ, in.Op == JNZ, in.Op == NOP, in.Op == TRAP:
+		return NoReg
+	case in.Op == JL:
+		return RegLink
+	case in.Op.IsFCmp():
+		return NoReg // writes FP status, modeled separately
+	default:
+		return in.Rd
+	}
+}
+
+// String renders the instruction in the assembler's canonical syntax.
+func (in Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	if in.Cond != CondNone {
+		b.WriteByte('.')
+		b.WriteString(in.Cond.String())
+	}
+	sp := func() { b.WriteByte(' ') }
+	switch {
+	case in.Op == NOP:
+	case in.Op.IsLoad() && in.Op != LDC:
+		sp()
+		fmt.Fprintf(&b, "%s, %d(%s)", in.Rd, in.Imm, in.Rs1)
+	case in.Op == LDC:
+		sp()
+		fmt.Fprintf(&b, "%s, %d", in.Rd, in.Imm)
+	case in.Op.IsStore():
+		sp()
+		fmt.Fprintf(&b, "%s, %d(%s)", in.Rd, in.Imm, in.Rs1)
+	case in.Op == BR:
+		sp()
+		fmt.Fprintf(&b, "%d", in.Imm)
+	case in.Op == BZ || in.Op == BNZ:
+		sp()
+		fmt.Fprintf(&b, "%s, %d", in.Rs1, in.Imm)
+	case in.Op.IsJump():
+		sp()
+		if in.HasImm {
+			fmt.Fprintf(&b, "%d", in.Imm)
+		} else {
+			b.WriteString(in.Rs1.String())
+		}
+	case in.Op == CMP:
+		sp()
+		if in.HasImm {
+			fmt.Fprintf(&b, "%s, %s, %d", in.Rd, in.Rs1, in.Imm)
+		} else {
+			fmt.Fprintf(&b, "%s, %s, %s", in.Rd, in.Rs1, in.Rs2)
+		}
+	case in.Op == MVI || in.Op == MVHI:
+		sp()
+		fmt.Fprintf(&b, "%s, %d", in.Rd, in.Imm)
+	case in.Op == TRAP:
+		sp()
+		fmt.Fprintf(&b, "%d", in.Imm)
+	case in.Op == RDSR:
+		sp()
+		b.WriteString(in.Rd.String())
+	case in.Op.IsFCmp():
+		sp()
+		fmt.Fprintf(&b, "%s, %s", in.Rs1, in.Rs2)
+	case in.Op == MV || in.Op == NEG || in.Op == INV || in.Op == FNEGS || in.Op == FNEGD ||
+		in.Op == MVFL || in.Op == MVFH || in.Op == MFFL || in.Op == MFFH || in.Op == FMV ||
+		(in.Op >= CVTSISF && in.Op <= CVTSFSI):
+		sp()
+		fmt.Fprintf(&b, "%s, %s", in.Rd, in.Rs1)
+	default:
+		sp()
+		if in.HasImm {
+			fmt.Fprintf(&b, "%s, %s, %d", in.Rd, in.Rs1, in.Imm)
+		} else {
+			fmt.Fprintf(&b, "%s, %s, %s", in.Rd, in.Rs1, in.Rs2)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,229 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterNaming(t *testing.T) {
+	if R(0).String() != "r0" || R(31).String() != "r31" {
+		t.Error("GPR names wrong")
+	}
+	if F(0).String() != "f0" || F(31).String() != "f31" {
+		t.Error("FPR names wrong")
+	}
+	if NoReg.String() != "-" {
+		t.Error("NoReg name wrong")
+	}
+	if !R(5).IsGPR() || R(5).IsFPR() || !F(5).IsFPR() || F(5).IsGPR() {
+		t.Error("register class predicates wrong")
+	}
+	if F(7).Num() != 7 || R(7).Num() != 7 {
+		t.Error("Num wrong")
+	}
+	if NoReg.Valid() {
+		t.Error("NoReg must not be valid")
+	}
+}
+
+func TestRegPanicsOnBadNumber(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("R(32) should panic")
+		}
+	}()
+	R(32)
+}
+
+func TestOpNamesRoundTrip(t *testing.T) {
+	for op := BAD + 1; int(op) < NumOps; op++ {
+		name := op.String()
+		if got := OpByName(name); got != op {
+			t.Errorf("OpByName(%q) = %v, want %v", name, got, op)
+		}
+	}
+	if OpByName("frobnicate") != BAD {
+		t.Error("unknown mnemonic should map to BAD")
+	}
+}
+
+func TestOpClassPredicates(t *testing.T) {
+	if !LD.IsLoad() || !LDC.IsLoad() || ST.IsLoad() {
+		t.Error("IsLoad wrong")
+	}
+	if !ST.IsStore() || LD.IsStore() {
+		t.Error("IsStore wrong")
+	}
+	if !BR.IsBranch() || J.IsBranch() || !J.IsJump() || BR.IsJump() {
+		t.Error("branch/jump predicates wrong")
+	}
+	if !BR.IsControl() || !JL.IsControl() || ADD.IsControl() {
+		t.Error("IsControl wrong")
+	}
+	if !FMULD.IsFPU() || ADD.IsFPU() {
+		t.Error("IsFPU wrong")
+	}
+	if !FCMPS.IsFCmp() || FADDS.IsFCmp() {
+		t.Error("IsFCmp wrong")
+	}
+}
+
+// Property: Negated is an involution, and Swapped is an involution.
+func TestCondInvolutions(t *testing.T) {
+	for c := LT; c <= GEU; c++ {
+		if c.Negated().Negated() != c {
+			t.Errorf("Negated(Negated(%v)) != %v", c, c)
+		}
+		if c.Swapped().Swapped() != c {
+			t.Errorf("Swapped(Swapped(%v)) != %v", c, c)
+		}
+	}
+}
+
+// Property: for all int32 pairs, cond(a,b) == negated(cond)(a,b) inverted,
+// and cond(a,b) == swapped(cond)(b,a).
+func TestCondSemantics(t *testing.T) {
+	f := func(a, b int32) bool {
+		for c := LT; c <= GEU; c++ {
+			if c.EvalInt(a, b) == c.Negated().EvalInt(a, b) {
+				return false
+			}
+			if c.EvalInt(a, b) != c.Swapped().EvalInt(b, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondByName(t *testing.T) {
+	if CondByName("ltu") != LTU || CondByName("geu") != GEU {
+		t.Error("CondByName wrong")
+	}
+	if CondByName("zz") != CondNone || CondByName("") != CondNone {
+		t.Error("unknown condition should be CondNone")
+	}
+}
+
+func TestSpecProperties(t *testing.T) {
+	d16, dlxe := D16(), DLXe()
+	if d16.InstrBytes() != 2 || dlxe.InstrBytes() != 4 {
+		t.Error("instruction sizes wrong")
+	}
+	if d16.MaxALUImm() != 31 {
+		t.Errorf("D16 ALU imm max = %d, want 31", d16.MaxALUImm())
+	}
+	if lo, hi := d16.MVIRange(); lo != -256 || hi != 255 {
+		t.Errorf("D16 MVI range [%d,%d], want [-256,255]", lo, hi)
+	}
+	if d16.MaxMemDisp() != 124 {
+		t.Errorf("D16 memory displacement max = %d, want 124", d16.MaxMemDisp())
+	}
+	if !d16.FitsMemDisp(124) || d16.FitsMemDisp(128) || d16.FitsMemDisp(-4) || d16.FitsMemDisp(6) {
+		t.Error("D16 FitsMemDisp wrong")
+	}
+	if !dlxe.FitsMemDisp(32760) || dlxe.FitsMemDisp(1<<20) {
+		t.Error("DLXe FitsMemDisp wrong")
+	}
+	if !dlxe.ThreeAddress || d16.ThreeAddress {
+		t.Error("address arity wrong")
+	}
+}
+
+func TestRestrictions(t *testing.T) {
+	r := RestrictRegs(DLXe(), 16)
+	if r.NumGPR != 16 || r.NumFPR != 16 {
+		t.Error("RestrictRegs did not shrink the files")
+	}
+	if r.Name != "DLXe/16/3" {
+		t.Errorf("restricted name %q", r.Name)
+	}
+	two := TwoAddress(r)
+	if two.ThreeAddress || two.Name != "DLXe/16/2" {
+		t.Errorf("two-address restriction wrong: %q", two.Name)
+	}
+	// Restrictions must not mutate the base spec.
+	if DLXe().NumGPR != 32 {
+		t.Error("RestrictRegs mutated the base spec")
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	cfgs := PaperConfigs()
+	want := []string{"D16/16/2", "DLXe/16/2", "DLXe/16/3", "DLXe/32/2", "DLXe/32/3"}
+	if len(cfgs) != len(want) {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	for i, c := range cfgs {
+		if c.Name != want[i] {
+			t.Errorf("config %d = %q, want %q", i, c.Name, want[i])
+		}
+	}
+}
+
+func TestAllocatableRegisters(t *testing.T) {
+	for _, spec := range PaperConfigs() {
+		for _, r := range AllocatableGPRs(spec) {
+			if r.Num() >= spec.NumGPR {
+				t.Errorf("%s: allocatable %s exceeds file", spec, r)
+			}
+			switch r {
+			case RegCC, RegLink, RegSP, RegGP, ScratchGPRs()[0], ScratchGPRs()[1]:
+				t.Errorf("%s: reserved register %s is allocatable", spec, r)
+			}
+		}
+		for _, r := range AllocatableFPRs(spec) {
+			if r.Num() >= spec.NumFPR {
+				t.Errorf("%s: allocatable %s exceeds FP file", spec, r)
+			}
+			if r == ScratchFPRs()[0] || r == ScratchFPRs()[1] {
+				t.Errorf("%s: FP scratch %s is allocatable", spec, r)
+			}
+		}
+	}
+	// DLXe/32 must expose strictly more registers than DLXe/16.
+	if len(AllocatableGPRs(DLXe())) <= len(AllocatableGPRs(RestrictRegs(DLXe(), 16))) {
+		t.Error("32-register file should offer more allocatable registers")
+	}
+}
+
+func TestCalleeSavedConvention(t *testing.T) {
+	if !CalleeSaved(R(7)) || !CalleeSaved(R(12)) || CalleeSaved(R(3)) || CalleeSaved(R(14)) {
+		t.Error("integer callee-saved set wrong")
+	}
+	if !CalleeSaved(F(8)) || CalleeSaved(F(1)) {
+		t.Error("FP callee-saved set wrong")
+	}
+	if !CalleeSaved(R(16)) || CalleeSaved(R(24)) {
+		t.Error("extended-file callee-saved split wrong")
+	}
+}
+
+func TestInstrUsesDef(t *testing.T) {
+	add := Instr{Op: ADD, Rd: R(3), Rs1: R(4), Rs2: R(5)}
+	if add.Def() != R(3) {
+		t.Error("ADD def wrong")
+	}
+	uses := add.Uses(nil)
+	if len(uses) != 2 || uses[0] != R(4) || uses[1] != R(5) {
+		t.Errorf("ADD uses %v", uses)
+	}
+	st := Instr{Op: ST, Rd: R(3), Rs1: R(2), Imm: 4}
+	if st.Def() != NoReg {
+		t.Error("store must not define a register")
+	}
+	if u := st.Uses(nil); len(u) != 2 {
+		t.Errorf("store uses %v", u)
+	}
+	jl := Instr{Op: JL, Rs1: R(6)}
+	if jl.Def() != RegLink {
+		t.Error("jl must define the link register")
+	}
+	mvi := Instr{Op: MVI, Rd: R(4), Imm: 7, HasImm: true}
+	if len(mvi.Uses(nil)) != 0 {
+		t.Error("mvi reads no registers")
+	}
+}

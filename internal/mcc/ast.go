@@ -1,0 +1,203 @@
+package mcc
+
+// The AST. Every expression node carries the type that semantic analysis
+// assigned (after array decay and usual arithmetic conversions are made
+// explicit with Conv nodes, the IR generator can be purely mechanical).
+
+// Expr is an expression node.
+type Expr interface {
+	Pos() Pos
+	// Type returns the node's value type (set by sema).
+	Type() *Type
+}
+
+type exprBase struct {
+	P  Pos
+	Ty *Type
+}
+
+func (e *exprBase) Pos() Pos     { return e.P }
+func (e *exprBase) Type() *Type  { return e.Ty }
+func (e *exprBase) setT(t *Type) { e.Ty = t }
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	exprBase
+	Val float64
+}
+
+// StrLit is a string literal; sema assigns it an anonymous global label.
+type StrLit struct {
+	exprBase
+	Val   string
+	Label string
+}
+
+// Ident is a variable reference, resolved by sema to a Sym.
+type Ident struct {
+	exprBase
+	Name string
+	Sym  *Sym
+}
+
+// Unary is -x ~x !x *x &x and the four inc/dec forms.
+type Unary struct {
+	exprBase
+	Op   TokKind // TokMinus TokTilde TokBang TokStar TokAmp TokInc TokDec
+	Post bool    // for TokInc/TokDec: postfix form
+	X    Expr
+}
+
+// Binary is any two-operand operator, including && and || (short-circuit).
+type Binary struct {
+	exprBase
+	Op   TokKind
+	X, Y Expr
+}
+
+// Assign is LHS op= RHS. Op is TokAssign for plain assignment, otherwise
+// the compound operator (TokPlusEq etc.).
+type Assign struct {
+	exprBase
+	Op       TokKind
+	LHS, RHS Expr
+}
+
+// Call is a function or builtin call.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	Sym  *Sym // callee (nil for builtins)
+}
+
+// Index is X[I].
+type Index struct {
+	exprBase
+	X, I Expr
+}
+
+// Conv is an implicit or explicit conversion inserted by sema.
+type Conv struct {
+	exprBase
+	X Expr
+}
+
+// --- statements -------------------------------------------------------------
+
+// Stmt is a statement node.
+type Stmt interface{ stmtPos() Pos }
+
+type stmtBase struct{ P Pos }
+
+func (s *stmtBase) stmtPos() Pos { return s.P }
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// DeclStmt declares one local variable (with optional initializer).
+type DeclStmt struct {
+	stmtBase
+	Sym  *Sym
+	Init Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	stmtBase
+	Cond       Expr
+	Then, Else Stmt
+}
+
+// WhileStmt is while (and do-while when Post is set).
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+	Post bool // do { } while (cond);
+}
+
+// ForStmt is the C for statement.
+type ForStmt struct {
+	stmtBase
+	Init Stmt // nil or ExprStmt/DeclStmt
+	Cond Expr // nil = true
+	Step Expr // nil
+	Body Stmt
+}
+
+// ReturnStmt returns from the current function.
+type ReturnStmt struct {
+	stmtBase
+	X Expr // nil for void return
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ stmtBase }
+
+// BlockStmt is a braced statement list with its own scope.
+type BlockStmt struct {
+	stmtBase
+	List []Stmt
+}
+
+// --- declarations -----------------------------------------------------------
+
+// SymKind distinguishes symbol classes.
+type SymKind uint8
+
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+	SymFunc
+)
+
+// Sym is a named program entity.
+type Sym struct {
+	Name string
+	Kind SymKind
+	Ty   *Type
+	Pos  Pos
+
+	// SymFunc:
+	Params  []*Sym
+	Ret     *Type
+	Defined bool
+
+	// Back-end bookkeeping (set by irgen):
+	VReg int // promoted scalar local/param: its virtual register (-1 otherwise)
+	Slot int // stack-slot index for arrays/spilled locals (-1 otherwise)
+}
+
+// FuncDecl is one function definition.
+type FuncDecl struct {
+	Sym  *Sym
+	Body *BlockStmt
+}
+
+// GlobalDecl is one global variable definition.
+type GlobalDecl struct {
+	Sym     *Sym
+	Init    []Expr // scalar: 1 element; array: element list; nil = zero
+	InitStr string // char-array string initializer ("" = none)
+}
+
+// Program is a fully parsed and checked translation unit.
+type Program struct {
+	Funcs   []*FuncDecl
+	Globals []*GlobalDecl
+	Strings []*StrLit // interned string literals, in emission order
+}

@@ -1,0 +1,376 @@
+package mcc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// The code generator lowers allocated IR to the common assembly language,
+// legalizing every operation against the target spec:
+//
+//   - two-address targets get operand-shuffling moves;
+//   - immediates that exceed the target's fields are materialized
+//     (D16: mvi / mvi+shli / literal pool; DLXe: mvi / ori / mvhi+ori);
+//   - displacements that exceed the target's memory fields become address
+//     arithmetic;
+//   - compare conditions missing on D16 (gt-forms) swap operands, and the
+//     condition register convention (r0 on D16) is honored;
+//   - every control transfer gets a delay slot, filled by a scheduling
+//     pass when a safe predecessor instruction exists.
+
+// line is one emitted assembly line with scheduling metadata.
+type line struct {
+	text    string
+	label   bool
+	dir     bool // directive (.pool etc.)
+	ctl     bool // control transfer with a delay slot
+	mem     bool // touches memory
+	slotted bool // already placed in a delay slot: semantically pinned
+	defs    []isa.Reg
+	uses    []isa.Reg
+}
+
+// dataLayout accumulates the .data section so codegen can predict gp
+// displacements; the assembler independently recomputes the same layout
+// (a built-in consistency check).
+type fpKey struct {
+	bits   uint64
+	double bool
+}
+
+type dataLayout struct {
+	entries []string // emitted .data lines
+	offsets map[string]int32
+	cursor  int32
+	fpPool  map[fpKey]string
+	fpSeq   int
+
+	bss        []string // emitted .bss lines
+	bssCursor  int32
+	bssPending map[string]int32
+}
+
+func newDataLayout() *dataLayout {
+	return &dataLayout{offsets: map[string]int32{}, fpPool: map[fpKey]string{}}
+}
+
+func (d *dataLayout) alignTo(n int32) {
+	if rem := d.cursor % n; rem != 0 {
+		d.entries = append(d.entries, fmt.Sprintf("\t.align %d", n))
+		d.cursor += n - rem
+	}
+}
+
+func (d *dataLayout) label(name string) {
+	d.entries = append(d.entries, name+":")
+	d.offsets[name] = d.cursor
+}
+
+func (d *dataLayout) words(vals ...string) {
+	d.entries = append(d.entries, "\t.word "+strings.Join(vals, ", "))
+	d.cursor += int32(4 * len(vals))
+}
+
+func (d *dataLayout) bytes(vals []string) {
+	d.entries = append(d.entries, "\t.byte "+strings.Join(vals, ", "))
+	d.cursor += int32(len(vals))
+}
+
+func (d *dataLayout) asciiz(s string) {
+	d.entries = append(d.entries, "\t.asciiz "+quoteAsm(s))
+	d.cursor += int32(len(s) + 1)
+}
+
+func (d *dataLayout) space(n int32) {
+	d.entries = append(d.entries, fmt.Sprintf("\t.space %d", n))
+	d.cursor += n
+}
+
+// bssVar reserves zero-initialized storage (not counted in binary size).
+func (d *dataLayout) bssVar(name string, size, align int32) {
+	if rem := d.bssCursor % align; rem != 0 {
+		d.bss = append(d.bss, fmt.Sprintf("\t.align %d", align))
+		d.bssCursor += align - rem
+	}
+	d.bss = append(d.bss, name+":", fmt.Sprintf("\t.space %d", size))
+	d.offsets[name] = -1 // out of the gp window by policy; see gpOff
+	d.bssOffsets(name, d.bssCursor)
+	d.bssCursor += size
+}
+
+// bssOffsets records the bss symbol's offset; resolved after data size is
+// final via finalizeBSS.
+func (d *dataLayout) bssOffsets(name string, off int32) {
+	if d.bssPending == nil {
+		d.bssPending = map[string]int32{}
+	}
+	d.bssPending[name] = off
+}
+
+// finalizeBSS computes gp offsets for bss symbols (bss follows data,
+// 8-aligned, matching the assembler's layout).
+func (d *dataLayout) finalizeBSS() {
+	base := (d.cursor + 7) &^ 7
+	for name, off := range d.bssPending {
+		d.offsets[name] = base + off
+	}
+}
+
+// fpConst interns a floating-point constant and returns its label.
+func (d *dataLayout) fpConst(bits uint64, double bool) string {
+	key := fpKey{bits, double}
+	if l, ok := d.fpPool[key]; ok {
+		return l
+	}
+	d.fpSeq++
+	l := fmt.Sprintf(".fc%d", d.fpSeq)
+	if double {
+		d.alignTo(8)
+		d.label(l)
+		d.words(fmt.Sprintf("%d", uint32(bits)), fmt.Sprintf("%d", uint32(bits>>32)))
+	} else {
+		d.alignTo(4)
+		d.label(l)
+		d.words(fmt.Sprintf("%d", uint32(bits)))
+	}
+	d.fpPool[key] = l
+	return l
+}
+
+func quoteAsm(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		case 0:
+			b.WriteString(`\0`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// codegen emits one function.
+type codegen struct {
+	f     *IRFunc
+	spec  *isa.Spec
+	alloc *Alloc
+	data  *dataLayout
+
+	lines     []line
+	slotOff   []int32
+	frameSize int32
+	outArgs   int32 // outgoing stack-arg bytes
+	lrOff     int32 // frame offset of the saved link register (-1 = none)
+	calleeOff []int32
+	useCount  map[VReg]int
+	retLabel  string
+
+	scratchI [2]isa.Reg
+	scratchF [2]isa.Reg
+
+	// fusedCall maps a vreg to a function symbol when the vreg is a
+	// single-use call-target address: the materialization is skipped and
+	// the call emitted direct (sharing only pays off for repeated or
+	// loop-resident targets).
+	fusedCall map[VReg]string
+
+	err error
+}
+
+func (cg *codegen) fail(format string, args ...any) {
+	if cg.err == nil {
+		cg.err = fmt.Errorf("codegen %s: %s", cg.f.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// genFuncAsm compiles one IR function to assembly lines.
+func genFuncAsm(f *IRFunc, spec *isa.Spec, alloc *Alloc, data *dataLayout) ([]line, error) {
+	cg := &codegen{
+		f: f, spec: spec, alloc: alloc, data: data,
+		useCount: map[VReg]int{},
+		retLabel: ".Lret_" + f.Name,
+		scratchI: isa.ScratchGPRs(),
+		scratchF: isa.ScratchFPRs(),
+	}
+	defCount := map[VReg]int{}
+	for _, b := range f.Blocks {
+		for i := range b.Ins {
+			var buf [4]VReg
+			for _, u := range b.Ins[i].uses(buf[:0]) {
+				cg.useCount[u]++
+			}
+			if d := b.Ins[i].def(); d != NoV {
+				defCount[d]++
+			}
+		}
+	}
+	// Single-use indirect call targets revert to direct calls.
+	cg.fusedCall = map[VReg]string{}
+	for _, b := range f.Blocks {
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			if in.Op == IAddr && in.AK == AKGlobal && in.Off == 0 {
+				if _, isData := data.offsets[in.Sym]; !isData &&
+					defCount[in.Dst] == 1 && cg.useCount[in.Dst] == 1 {
+					cg.fusedCall[in.Dst] = in.Sym
+				}
+			}
+		}
+	}
+	cg.layoutFrame()
+	cg.emitLabelRaw(f.Name + ":")
+	cg.prologue()
+	for bi, b := range f.Blocks {
+		if bi > 0 || blockIsBranchTarget(f, b.ID) {
+			cg.emitLabelRaw(cg.blockLabel(b.ID) + ":")
+		}
+		cg.genBlock(b, bi)
+	}
+	cg.epilogue()
+	cg.emitDir("\t.pool")
+	if cg.err != nil {
+		return nil, cg.err
+	}
+	cg.peephole()
+	cg.scheduleLoads()
+	cg.schedule()
+	return cg.lines, nil
+}
+
+func blockIsBranchTarget(f *IRFunc, id int) bool {
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			if s == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (cg *codegen) blockLabel(id int) string {
+	return fmt.Sprintf(".L%s_%d", cg.f.Name, id)
+}
+
+// --- emission helpers --------------------------------------------------------
+
+func (cg *codegen) emitLabelRaw(text string) {
+	cg.lines = append(cg.lines, line{text: text, label: true})
+}
+
+func (cg *codegen) emitDir(text string) {
+	cg.lines = append(cg.lines, line{text: text, dir: true})
+}
+
+func (cg *codegen) emit(text string, defs, uses []isa.Reg) {
+	cg.lines = append(cg.lines, line{text: "\t" + text, defs: defs, uses: uses})
+}
+
+func (cg *codegen) emitMem(text string, defs, uses []isa.Reg) {
+	cg.lines = append(cg.lines, line{text: "\t" + text, defs: defs, uses: uses, mem: true})
+}
+
+// emitCtl emits a control transfer plus its delay-slot nop (the scheduler
+// may replace the nop).
+func (cg *codegen) emitCtl(text string, defs, uses []isa.Reg) {
+	cg.lines = append(cg.lines, line{text: "\t" + text, defs: defs, uses: uses, ctl: true})
+	cg.lines = append(cg.lines, line{text: "\tnop"})
+}
+
+func rr(regs ...isa.Reg) []isa.Reg { return regs }
+
+// --- frame layout -------------------------------------------------------------
+
+// Frame (from sp upward):
+//
+//	[0, outArgs)            outgoing stack arguments
+//	[outArgs, +4)           saved link register (if the function calls)
+//	saved callee-saved registers (4 bytes int, 8 bytes fp)
+//	spill slots and scalar locals (small, near sp: cheap displacements)
+//	local arrays
+//	--- frameSize (8-aligned); incoming stack args live above
+func (cg *codegen) layoutFrame() {
+	cg.outArgs = int32(cg.maxOutArgBytes())
+	off := cg.outArgs
+	if cg.f.HasCall {
+		cg.lrOff = off
+		off += 4
+	} else {
+		cg.lrOff = -1
+	}
+	for _, r := range cg.alloc.UsedCalleeSaved {
+		off = alignI32(off, 4)
+		if r.IsFPR() {
+			off = alignI32(off, 8)
+			cg.calleeOff = append(cg.calleeOff, off)
+			off += 8
+		} else {
+			cg.calleeOff = append(cg.calleeOff, off)
+			off += 4
+		}
+	}
+	// Small slots first (spills, demoted scalars), then arrays.
+	cg.slotOff = make([]int32, len(cg.f.Slots))
+	for pass := 0; pass < 2; pass++ {
+		for i, s := range cg.f.Slots {
+			small := s.Size <= 8
+			if (pass == 0) != small {
+				continue
+			}
+			off = alignI32(off, int32(s.Align))
+			cg.slotOff[i] = off
+			off += int32(s.Size)
+		}
+	}
+	cg.frameSize = alignI32(off, 8)
+}
+
+func alignI32(v, n int32) int32 { return (v + n - 1) &^ (n - 1) }
+
+// maxOutArgBytes scans calls for stack-passed argument bytes.
+func (cg *codegen) maxOutArgBytes() int {
+	max := 0
+	for _, b := range cg.f.Blocks {
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			if in.Op != ICall || in.Builtin {
+				continue
+			}
+			ints, fps, bytes := 0, 0, 0
+			for _, a := range in.Args {
+				if cg.f.RegTy[a].IsFloat() {
+					fps++
+					if fps > isa.NumArgRegs {
+						bytes = alignInt(bytes, 8) + 8
+					}
+				} else {
+					ints++
+					if ints > isa.NumArgRegs {
+						bytes += 4
+					}
+				}
+			}
+			if bytes > max {
+				max = bytes
+			}
+		}
+	}
+	return alignInt(max, 8)
+}
+
+func alignInt(v, n int) int { return (v + n - 1) &^ (n - 1) }

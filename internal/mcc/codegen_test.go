@@ -1,0 +1,241 @@
+package mcc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func genAsmFor(t *testing.T, src string, spec *isa.Spec) string {
+	t.Helper()
+	asmText, _, err := GenAsm("t.mc", src, spec)
+	if err != nil {
+		t.Fatalf("GenAsm(%s): %v", spec, err)
+	}
+	return asmText
+}
+
+// countLines counts assembly lines containing the substring (runtime
+// library included, so prefer distinctive patterns).
+func countLines(asmText, sub string) int {
+	n := 0
+	for _, l := range strings.Split(asmText, "\n") {
+		if strings.Contains(l, sub) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTwoAddressInsertsCopies(t *testing.T) {
+	src := `
+int f(int a, int b, int c) { return a + b * 0 + (a - c) + (b - a); }
+int main() { return f(1, 2, 3); }
+`
+	three := genAsmFor(t, src, isa.DLXe())
+	two := genAsmFor(t, src, isa.TwoAddress(isa.DLXe()))
+	if !(countLines(two, "\tmv ") > countLines(three, "\tmv ")) {
+		t.Errorf("two-address form should need more moves (%d vs %d)",
+			countLines(two, "\tmv "), countLines(three, "\tmv "))
+	}
+	// Three-address output contains genuinely three-operand adds.
+	found := false
+	for _, l := range strings.Split(three, "\n") {
+		f := strings.Fields(l)
+		if len(f) == 4 && f[0] == "sub" && f[1] != f[2] && f[2] != f[3] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no true three-address sub emitted on DLXe")
+	}
+}
+
+func TestCmpBranchFusion(t *testing.T) {
+	src := `
+int main() {
+	int i, s = 0;
+	for (i = 0; i < 10; i++) s += i;
+	print_int(s);
+	return 0;
+}
+`
+	// D16: the loop compare goes to r0 and feeds bz/bnz directly — no
+	// boolean materialization move.
+	d16 := genAsmFor(t, src, isa.D16())
+	if countLines(d16, "cmp.lt r0") == 0 {
+		t.Errorf("D16 compare should target r0:\n%s", d16)
+	}
+	// DLXe: condition computed into a register and branched on.
+	dlxe := genAsmFor(t, src, isa.DLXe())
+	if countLines(dlxe, "cmp.lt") == 0 || countLines(dlxe, "bnz") == 0 {
+		t.Errorf("DLXe fused compare/branch missing:\n%s", dlxe)
+	}
+}
+
+func TestGlobalAddressingPerTarget(t *testing.T) {
+	src := `
+int g;
+int main() { g = 7; return g; }
+`
+	// DLXe reaches the global with a gp-relative displacement.
+	dlxe := genAsmFor(t, src, isa.DLXe())
+	if countLines(dlxe, "(r13)") == 0 {
+		t.Errorf("DLXe should use gp-relative addressing:\n%s", dlxe)
+	}
+	// g is the first (bss) symbol: D16's 124-byte window covers it too.
+	d16 := genAsmFor(t, src, isa.D16())
+	if countLines(d16, "(r13)") == 0 {
+		t.Errorf("D16 should reach the first global through gp:\n%s", d16)
+	}
+
+	// A global pushed beyond the D16 window forces address arithmetic.
+	far := `
+int pad[100];
+int pad2[100] = {1};
+int g = 5;
+int main() { return g; }
+`
+	d16far := genAsmFor(t, far, isa.D16())
+	if countLines(d16far, "ldc r0, =g") == 0 && countLines(d16far, "add") == 0 {
+		t.Errorf("D16 should materialize far global addresses:\n%s", d16far)
+	}
+	dlxefar := genAsmFor(t, far, isa.DLXe())
+	if countLines(dlxefar, "gprel(") > 0 {
+		t.Errorf("codegen should emit numeric offsets, got gprel:\n%s", dlxefar)
+	}
+}
+
+func TestDelaySlotFilling(t *testing.T) {
+	src := `
+int f(int n) {
+	int s = 0;
+	while (n > 0) { s += n; n--; }
+	return s;
+}
+int main() { return f(10); }
+`
+	for _, spec := range []*isa.Spec{isa.D16(), isa.DLXe()} {
+		asmText := genAsmFor(t, src, spec)
+		// The scheduler fills some slots: count nops right after branches.
+		lines := strings.Split(asmText, "\n")
+		branches, nopsAfter := 0, 0
+		for i, l := range lines {
+			f := strings.Fields(l)
+			if len(f) > 0 && (f[0] == "br" || f[0] == "bz" || f[0] == "bnz" ||
+				f[0] == "call" || f[0] == "ret" || f[0] == "jl" || f[0] == "j") {
+				branches++
+				if i+1 < len(lines) && strings.TrimSpace(lines[i+1]) == "nop" {
+					nopsAfter++
+				}
+			}
+		}
+		if branches == 0 {
+			t.Fatalf("%s: no control transfers found", spec)
+		}
+		if nopsAfter == branches {
+			t.Errorf("%s: scheduler filled no delay slots (%d branches)", spec, branches)
+		}
+	}
+}
+
+func TestBuiltinsBecomeTraps(t *testing.T) {
+	src := `
+int main() {
+	print_int(1);
+	print_char('x');
+	print_str("s");
+	print_double(1.5);
+	return 0;
+}`
+	asmText := genAsmFor(t, src, isa.D16())
+	for _, trap := range []string{"trap 1", "trap 2", "trap 3", "trap 4"} {
+		if countLines(asmText, trap) == 0 {
+			t.Errorf("missing %q:\n%s", trap, asmText)
+		}
+	}
+	if countLines(asmText, "call print_int") != 0 {
+		t.Error("builtin compiled as a real call")
+	}
+}
+
+func TestCalleeSavedPrologue(t *testing.T) {
+	src := `
+int g(int x) { return x + 1; }
+int f(int a) {
+	int keep = a * 3;
+	int r = g(a);
+	return keep + r;
+}
+int main() { return f(5); }
+`
+	for _, spec := range []*isa.Spec{isa.D16(), isa.DLXe()} {
+		asmText := genAsmFor(t, src, spec)
+		// f keeps `keep` across the call: r7 (first callee-saved) must be
+		// saved and restored.
+		if countLines(asmText, "st r7,") == 0 || countLines(asmText, "ld r7,") == 0 {
+			t.Errorf("%s: callee-saved register not saved/restored:\n%s", spec, asmText)
+		}
+		// The link register is saved in every calling function.
+		if countLines(asmText, "st r1,") < 2 { // f and main
+			t.Errorf("%s: link register saves missing", spec)
+		}
+	}
+}
+
+func TestDoubleMemoryAccessGoesThroughGPRs(t *testing.T) {
+	src := `
+double d;
+int main() { d = d + 1.0; return 0; }
+`
+	for _, spec := range []*isa.Spec{isa.D16(), isa.DLXe()} {
+		asmText := genAsmFor(t, src, spec)
+		// No direct FP loads exist: the value must cross via mvfl/mvfh
+		// and mffl/mffh.
+		for _, op := range []string{"mvfl", "mvfh", "mffl", "mffh"} {
+			if countLines(asmText, op) == 0 {
+				t.Errorf("%s: %s missing for double access:\n%s", spec, op, asmText)
+			}
+		}
+	}
+}
+
+func TestRuntimeIncludedOnceAndTargeted(t *testing.T) {
+	src := `int main() { int a = 7, b = 3; return a / b; }`
+	d16 := genAsmFor(t, src, isa.D16())
+	if countLines(d16, "__div:") != 1 {
+		t.Error("runtime divide missing or duplicated")
+	}
+	// D16 runtime branches through r0.
+	if !strings.Contains(d16, "bz r0,") {
+		t.Error("D16 runtime should branch via r0")
+	}
+	dlxe := genAsmFor(t, src, isa.DLXe())
+	// DLXe runtime tests registers directly and never moves to r0 first.
+	if strings.Contains(dlxe, "mv r0,") {
+		t.Errorf("DLXe runtime moves into the zero register:\n%s", dlxe)
+	}
+}
+
+func TestFrameSlotsNearSPAreCheap(t *testing.T) {
+	// A function with a large local array plus a spilled scalar: the
+	// scalar's frame slot must use small displacements (layout puts small
+	// slots near sp).
+	src := `
+int big(int n) {
+	int buf[200];
+	int i, s = 0;
+	for (i = 0; i < n; i++) buf[i] = i;
+	for (i = 0; i < n; i++) s += buf[i];
+	return s;
+}
+int main() { return big(200); }
+`
+	asmText := genAsmFor(t, src, isa.D16())
+	// The array itself lives past the 124-byte window, so address
+	// arithmetic appears:
+	if !strings.Contains(asmText, "add") {
+		t.Errorf("expected frame address arithmetic:\n%s", asmText)
+	}
+}

@@ -1,0 +1,97 @@
+package mcc
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// Regression tests distilled from benchmark failures.
+
+func TestPointerParamDoubleArray(t *testing.T) {
+	src := `
+double a[100];
+
+int idamax(int m, double *dx) {
+	int i, best = 0;
+	double dmax = dx[0];
+	if (dmax < 0.0) dmax = -dmax;
+	for (i = 1; i < m; i++) {
+		double v = dx[i];
+		if (v < 0.0) v = -v;
+		if (v > dmax) { dmax = v; best = i; }
+	}
+	return best;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 100; i++) {
+		a[i] = i * 7 % 13;
+		a[i] = a[i] - 6.0;
+	}
+	int k;
+	for (k = 0; k < 3; k++) {
+		print_int(idamax(10, &a[k * 40 + k]));
+		print_char(' ');
+	}
+	print_int(idamax(100, a));
+	return 0;
+}`
+	// Max |a[i]| = 6 first occurs at relative index 0, 9, 7 for the three
+	// shifted windows, and at 0 over the whole array.
+	for _, spec := range isa.PaperConfigs() {
+		got, _, _ := runMC(t, src, spec)
+		want := "0 9 7 0"
+		if got != want {
+			t.Errorf("%s: %q, want %q", spec, got, want)
+		}
+	}
+}
+
+func TestCharGlobalsAndTokenizer(t *testing.T) {
+	src := `
+char input[64] = "add r1 r2 r3\nmvi r4 77\n";
+char tok[16];
+int pos;
+
+int isspace_(int c) { return c == ' ' || c == '\t'; }
+
+int readtok() {
+	while (isspace_(input[pos])) pos++;
+	int n = 0;
+	while (input[pos] && input[pos] != '\n' && !isspace_(input[pos]) && n < 15) {
+		tok[n++] = input[pos++];
+	}
+	tok[n] = 0;
+	return n;
+}
+
+int nextline() {
+	while (input[pos] && input[pos] != '\n') pos++;
+	if (input[pos] == '\n') { pos++; return 1; }
+	return 0;
+}
+
+int main() {
+	pos = 0;
+	int total = 0;
+	int more = 1;
+	while (more) {
+		int n = readtok();
+		if (n == 0) { more = nextline(); continue; }
+		total += n;
+		print_int(n);
+		print_char(' ');
+	}
+	print_int(total);
+	return 0;
+}`
+	for _, spec := range isa.PaperConfigs() {
+		got, _, _ := runMC(t, src, spec)
+		want := "3 2 2 2 3 2 2 16"
+		if got != want {
+			t.Errorf("%s: %q, want %q", spec, got, want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package mcc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Differential testing: random integer expressions are rendered as MC
+// source and simultaneously evaluated by a Go model of MC's semantics
+// (int32 arithmetic, C-truncated division, shift counts masked to 5
+// bits). The compiled program must print the model's values on every
+// target configuration — this cross-checks the whole stack (parser,
+// optimizer, allocator, codegen, assembler, encoders, simulator) and
+// both software divide paths.
+
+type exprNode struct {
+	src string
+	val int32
+}
+
+type exprGen struct {
+	rng  *rand.Rand
+	vars map[string]int32
+}
+
+func (g *exprGen) leaf() exprNode {
+	if g.rng.Intn(3) == 0 && len(g.vars) > 0 {
+		names := make([]string, 0, len(g.vars))
+		for n := range g.vars {
+			names = append(names, n)
+		}
+		n := names[g.rng.Intn(len(names))]
+		return exprNode{src: n, val: g.vars[n]}
+	}
+	v := int32(g.rng.Intn(2000) - 1000)
+	if v < 0 {
+		return exprNode{src: fmt.Sprintf("(%d)", v), val: v}
+	}
+	return exprNode{src: fmt.Sprintf("%d", v), val: v}
+}
+
+func (g *exprGen) gen(depth int) exprNode {
+	if depth <= 0 {
+		return g.leaf()
+	}
+	a := g.gen(depth - 1)
+	b := g.gen(depth - 1)
+	switch g.rng.Intn(14) {
+	case 0:
+		return exprNode{src: "(" + a.src + " + " + b.src + ")", val: a.val + b.val}
+	case 1:
+		return exprNode{src: "(" + a.src + " - " + b.src + ")", val: a.val - b.val}
+	case 2:
+		return exprNode{src: "(" + a.src + " * " + b.src + ")", val: a.val * b.val}
+	case 3:
+		// Division: force a positive nonzero divisor.
+		d := (b.val & 1023) | 1
+		src := "(" + a.src + " / ((" + b.src + " & 1023) | 1))"
+		return exprNode{src: src, val: a.val / d}
+	case 4:
+		d := (b.val & 1023) | 1
+		src := "(" + a.src + " % ((" + b.src + " & 1023) | 1))"
+		return exprNode{src: src, val: a.val % d}
+	case 5:
+		return exprNode{src: "(" + a.src + " & " + b.src + ")", val: a.val & b.val}
+	case 6:
+		return exprNode{src: "(" + a.src + " | " + b.src + ")", val: a.val | b.val}
+	case 7:
+		return exprNode{src: "(" + a.src + " ^ " + b.src + ")", val: a.val ^ b.val}
+	case 8:
+		sh := int32(g.rng.Intn(12))
+		return exprNode{src: fmt.Sprintf("(%s << %d)", a.src, sh), val: a.val << uint(sh)}
+	case 9:
+		sh := int32(g.rng.Intn(12))
+		return exprNode{src: fmt.Sprintf("(%s >> %d)", a.src, sh), val: a.val >> uint(sh)}
+	case 10:
+		v := int32(0)
+		if a.val < b.val {
+			v = 1
+		}
+		return exprNode{src: "(" + a.src + " < " + b.src + ")", val: v}
+	case 11:
+		v := int32(0)
+		if a.val == b.val {
+			v = 1
+		}
+		return exprNode{src: "(" + a.src + " == " + b.src + ")", val: v}
+	case 12:
+		return exprNode{src: "(-" + a.src + ")", val: -a.val}
+	default:
+		return exprNode{src: "(~" + a.src + ")", val: ^a.val}
+	}
+}
+
+func TestDifferentialExpressions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzzing is slow")
+	}
+	rng := rand.New(rand.NewSource(20260705))
+	for prog := 0; prog < 12; prog++ {
+		g := &exprGen{rng: rng, vars: map[string]int32{}}
+		var b strings.Builder
+		b.WriteString("int main() {\n")
+		for i := 0; i < 5; i++ {
+			name := fmt.Sprintf("v%d", i)
+			val := int32(rng.Intn(100000) - 50000)
+			g.vars[name] = val
+			fmt.Fprintf(&b, "\tint %s = %d;\n", name, val)
+		}
+		var want []string
+		for i := 0; i < 8; i++ {
+			e := g.gen(2 + rng.Intn(2))
+			fmt.Fprintf(&b, "\tprint_int(%s); print_char(' ');\n", e.src)
+			want = append(want, fmt.Sprintf("%d", e.val))
+		}
+		b.WriteString("\treturn 0;\n}\n")
+		src := b.String()
+		expect := strings.Join(want, " ") + " "
+
+		for _, spec := range isa.PaperConfigs() {
+			c, err := Compile("fuzz.mc", src, spec)
+			if err != nil {
+				t.Fatalf("program %d on %s: %v\n%s", prog, spec, err, src)
+			}
+			m, err := sim.New(c.Image)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(50_000_000); err != nil {
+				t.Fatalf("program %d on %s: %v\n%s", prog, spec, err, src)
+			}
+			if got := m.Output.String(); got != expect {
+				t.Fatalf("program %d on %s:\n got  %q\n want %q\nsource:\n%s",
+					prog, spec, got, expect, src)
+			}
+		}
+	}
+}
+
+// TestDifferentialLoops runs randomized accumulation loops: the same
+// differential idea, but exercising control flow, compare/branch fusion
+// and loop-invariant hoisting.
+func TestDifferentialLoops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzzing is slow")
+	}
+	rng := rand.New(rand.NewSource(42))
+	for prog := 0; prog < 8; prog++ {
+		n := 20 + rng.Intn(50)
+		mul := int32(rng.Intn(7) + 1)
+		mask := int32(rng.Intn(4096))
+		mod := int32(rng.Intn(97) + 3)
+		start := int32(rng.Intn(1000))
+
+		// Go model.
+		acc := start
+		for i := int32(0); i < int32(n); i++ {
+			if i%2 == 0 {
+				acc += i * mul
+			} else {
+				acc ^= i & mask
+			}
+			if acc > 100000 {
+				acc %= mod
+			}
+		}
+
+		src := fmt.Sprintf(`
+int main() {
+	int acc = %d;
+	int i;
+	for (i = 0; i < %d; i++) {
+		if (i %% 2 == 0) acc += i * %d;
+		else acc ^= i & %d;
+		if (acc > 100000) acc %%= %d;
+	}
+	print_int(acc);
+	return 0;
+}`, start, n, mul, mask, mod)
+		expect := fmt.Sprintf("%d", acc)
+
+		for _, spec := range isa.PaperConfigs() {
+			c, err := Compile("loop.mc", src, spec)
+			if err != nil {
+				t.Fatalf("program %d on %s: %v", prog, spec, err)
+			}
+			m, err := sim.New(c.Image)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(50_000_000); err != nil {
+				t.Fatalf("program %d on %s: %v", prog, spec, err)
+			}
+			if got := m.Output.String(); got != expect {
+				t.Fatalf("program %d on %s: got %q want %q\n%s", prog, spec, got, expect, src)
+			}
+		}
+	}
+}

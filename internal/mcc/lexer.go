@@ -1,0 +1,357 @@
+package mcc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// lexer turns MC source into tokens.
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+	col  int
+	errs []error
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) {
+	l.errs = append(l.errs, &Error{File: l.file, Pos: Pos{l.line, l.col},
+		Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) && !(l.peek() == '*' && l.peek2() == '/') {
+				l.advance()
+			}
+			if l.pos < len(l.src) {
+				l.advance()
+				l.advance()
+			} else {
+				l.errf("unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (l *lexer) next() Token {
+	l.skipSpaceAndComments()
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = TokEOF
+		return tok
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentStart(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		tok.Text = l.src[start:l.pos]
+		if k, ok := keywords[tok.Text]; ok {
+			tok.Kind = k
+		} else {
+			tok.Kind = TokIdent
+		}
+		return tok
+
+	case isDigit(c):
+		return l.number(tok)
+
+	case c == '"':
+		return l.stringLit(tok)
+
+	case c == '\'':
+		return l.charLit(tok)
+	}
+
+	l.advance()
+	two := func(nc byte, k2, k1 TokKind) TokKind {
+		if l.peek() == nc {
+			l.advance()
+			return k2
+		}
+		return k1
+	}
+	switch c {
+	case '(':
+		tok.Kind = TokLParen
+	case ')':
+		tok.Kind = TokRParen
+	case '{':
+		tok.Kind = TokLBrace
+	case '}':
+		tok.Kind = TokRBrace
+	case '[':
+		tok.Kind = TokLBracket
+	case ']':
+		tok.Kind = TokRBracket
+	case ';':
+		tok.Kind = TokSemi
+	case ',':
+		tok.Kind = TokComma
+	case '~':
+		tok.Kind = TokTilde
+	case '+':
+		switch l.peek() {
+		case '+':
+			l.advance()
+			tok.Kind = TokInc
+		case '=':
+			l.advance()
+			tok.Kind = TokPlusEq
+		default:
+			tok.Kind = TokPlus
+		}
+	case '-':
+		switch l.peek() {
+		case '-':
+			l.advance()
+			tok.Kind = TokDec
+		case '=':
+			l.advance()
+			tok.Kind = TokMinusEq
+		default:
+			tok.Kind = TokMinus
+		}
+	case '*':
+		tok.Kind = two('=', TokStarEq, TokStar)
+	case '/':
+		tok.Kind = two('=', TokSlashEq, TokSlash)
+	case '%':
+		tok.Kind = two('=', TokPercentEq, TokPercent)
+	case '^':
+		tok.Kind = two('=', TokCaretEq, TokCaret)
+	case '!':
+		tok.Kind = two('=', TokNe, TokBang)
+	case '=':
+		tok.Kind = two('=', TokEq, TokAssign)
+	case '&':
+		switch l.peek() {
+		case '&':
+			l.advance()
+			tok.Kind = TokAndAnd
+		case '=':
+			l.advance()
+			tok.Kind = TokAmpEq
+		default:
+			tok.Kind = TokAmp
+		}
+	case '|':
+		switch l.peek() {
+		case '|':
+			l.advance()
+			tok.Kind = TokOrOr
+		case '=':
+			l.advance()
+			tok.Kind = TokPipeEq
+		default:
+			tok.Kind = TokPipe
+		}
+	case '<':
+		switch l.peek() {
+		case '<':
+			l.advance()
+			tok.Kind = two('=', TokShlEq, TokShl)
+		case '=':
+			l.advance()
+			tok.Kind = TokLe
+		default:
+			tok.Kind = TokLt
+		}
+	case '>':
+		switch l.peek() {
+		case '>':
+			l.advance()
+			tok.Kind = two('=', TokShrEq, TokShr)
+		case '=':
+			l.advance()
+			tok.Kind = TokGe
+		default:
+			tok.Kind = TokGt
+		}
+	default:
+		l.errf("unexpected character %q", c)
+		return l.next()
+	}
+	return tok
+}
+
+func (l *lexer) number(tok Token) Token {
+	start := l.pos
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for isHexDigit(l.peek()) {
+			l.advance()
+		}
+		v, err := strconv.ParseUint(l.src[start+2:l.pos], 16, 64)
+		if err != nil {
+			l.errf("bad hex literal %q", l.src[start:l.pos])
+		}
+		tok.Kind, tok.Int = TokIntLit, int64(int32(v))
+		return tok
+	}
+	for isDigit(l.peek()) {
+		l.advance()
+	}
+	isFloat := false
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.pos
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			l.errf("bad float literal %q", text)
+		}
+		tok.Kind, tok.Flt = TokFloatLit, v
+		return tok
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		l.errf("bad integer literal %q", text)
+	}
+	tok.Kind, tok.Int = TokIntLit, v
+	return tok
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *lexer) escape() byte {
+	c := l.advance()
+	if c != '\\' {
+		return c
+	}
+	if l.pos >= len(l.src) {
+		l.errf("trailing backslash")
+		return 0
+	}
+	switch e := l.advance(); e {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	default:
+		l.errf("unknown escape \\%c", e)
+		return e
+	}
+}
+
+func (l *lexer) stringLit(tok Token) Token {
+	l.advance() // opening quote
+	var b []byte
+	for {
+		if l.pos >= len(l.src) {
+			l.errf("unterminated string literal")
+			break
+		}
+		if l.peek() == '"' {
+			l.advance()
+			break
+		}
+		b = append(b, l.escape())
+	}
+	tok.Kind, tok.Str = TokStrLit, string(b)
+	return tok
+}
+
+func (l *lexer) charLit(tok Token) Token {
+	l.advance() // opening quote
+	if l.pos >= len(l.src) {
+		l.errf("unterminated character literal")
+		tok.Kind = TokCharLit
+		return tok
+	}
+	v := l.escape()
+	if l.peek() == '\'' {
+		l.advance()
+	} else {
+		l.errf("unterminated character literal")
+	}
+	tok.Kind, tok.Int = TokCharLit, int64(v)
+	return tok
+}

@@ -1,0 +1,751 @@
+package mcc
+
+import (
+	"repro/internal/isa"
+)
+
+// The optimizer. Passes are deliberately the kind a production compiler of
+// the paper's era runs (GCC 2.1 at -O): local constant and copy
+// propagation, constant folding, strength reduction of multiplications by
+// powers of two, local common-subexpression elimination (including loads,
+// invalidated at stores and calls), dead-code elimination, and branch
+// simplification with unreachable-block removal.
+//
+// Legalize is target-aware: it exposes out-of-range global/frame addresses
+// as explicit address computations so CSE can share them — this is where
+// the D16 displacement limits turn into extra (but shareable)
+// instructions, matching the paper's Section 3.3.3 observations.
+
+// Optimize runs the pass pipeline on f. It is target-parameterized the
+// way the paper's compiler is: immediate formation consults the spec's
+// field widths, so a constant the target cannot encode stays a separate
+// (hoistable, CSE-able) materialization.
+func Optimize(f *IRFunc, spec *isa.Spec) {
+	for i := 0; i < 3; i++ {
+		changed := false
+		for _, b := range f.Blocks {
+			changed = localOpt(f, b, spec) || changed
+			changed = localCSE(f, b) || changed
+		}
+		changed = deadCode(f) || changed
+		changed = foldBranches(f) || changed
+		changed = pruneBlocks(f) || changed
+		if !changed {
+			break
+		}
+	}
+}
+
+// immEncodable reports whether the target has an immediate form of op
+// that encodes v (the decision behind the paper's immediate-field
+// ablation). cond matters only for compares (D16+'s compare-equal
+// immediate accepts eq only).
+func immEncodable(spec *isa.Spec, op IOp, cond isa.Cond, v int64) bool {
+	switch op {
+	case IAdd, ISub:
+		return (v >= 0 && spec.FitsALUImm(int32(v))) ||
+			(v < 0 && -v <= int64(spec.MaxALUImm()))
+	case IShl, IShr, ISra:
+		return v >= 0 && v <= 31
+	case IAnd, IOr, IXor:
+		return spec.HasLogicalImm && v >= 0 && v <= 0xFFFF
+	case ICmp:
+		if spec.HasCmpImm {
+			return v >= -32768 && v <= 32767
+		}
+		return spec.CmpImm8 && cond == isa.EQ && v >= 0 && v <= 255
+	case IMul, IDiv, IRem:
+		// Lowered later: strength reduction wants the constant visible.
+		return true
+	}
+	return false
+}
+
+// localOpt does constant/copy propagation and folding within one block.
+func localOpt(f *IRFunc, b *Block, spec *isa.Spec) bool {
+	changed := false
+	constVal := map[VReg]int64{}
+	copyOf := map[VReg]VReg{}
+
+	kill := func(v VReg) {
+		delete(constVal, v)
+		for k, src := range copyOf {
+			if src == v || k == v {
+				delete(copyOf, k)
+			}
+		}
+	}
+	resolve := func(v VReg) VReg {
+		if src, ok := copyOf[v]; ok {
+			return src
+		}
+		return v
+	}
+
+	for i := range b.Ins {
+		in := &b.Ins[i]
+
+		// Rewrite operands through known copies.
+		rw := func(p *VReg) {
+			if *p != NoV {
+				if r := resolve(*p); r != *p {
+					*p = r
+					changed = true
+				}
+			}
+		}
+		switch in.Op {
+		case ILoad, IAddr:
+			if in.AK == AKReg {
+				rw(&in.A)
+			}
+		case IStore:
+			rw(&in.A)
+			if in.AK == AKReg {
+				rw(&in.B)
+			}
+		case ICall:
+			for j := range in.Args {
+				rw(&in.Args[j])
+			}
+		default:
+			rw(&in.A)
+			if !in.HasBImm {
+				rw(&in.B)
+			}
+		}
+
+		// Constant folding happens regardless of encodability.
+		if in.Ty == TI32 && in.A != NoV && in.B != NoV {
+			if av, aok := constVal[in.A]; aok {
+				if bv, bok := constVal[in.B]; bok {
+					if in.Op == ICmp {
+						v := int64(0)
+						if in.Cond.EvalInt(int32(av), int32(bv)) {
+							v = 1
+						}
+						*in = Ins{Op: IConst, Ty: TI32, Dst: in.Dst, Imm: v}
+						changed = true
+					} else if v, ok := foldInt(in.Op, av, bv); ok {
+						*in = Ins{Op: IConst, Ty: TI32, Dst: in.Dst, Imm: v}
+						changed = true
+					}
+				}
+			}
+		}
+
+		// Immediate formation: a constant B operand becomes BImm when the
+		// target can encode it.
+		if !in.HasBImm && in.B != NoV && in.Ty == TI32 {
+			if cv, ok := constVal[in.B]; ok && immEncodable(spec, in.Op, in.Cond, cv) {
+				switch in.Op {
+				case IAdd, ISub, IMul, IDiv, IRem, IAnd, IOr, IXor,
+					IShl, IShr, ISra, ICmp:
+					in.HasBImm, in.BImm, in.B = true, cv, NoV
+					changed = true
+				}
+			}
+		}
+		// Commute a constant left operand into BImm where legal.
+		if !in.HasBImm && in.A != NoV && in.B != NoV && in.Ty == TI32 {
+			if cv, ok := constVal[in.A]; ok {
+				switch in.Op {
+				case IAdd, IAnd, IOr, IXor, IMul:
+					if immEncodable(spec, in.Op, in.Cond, cv) {
+						in.A = in.B
+						in.HasBImm, in.BImm, in.B = true, cv, NoV
+						changed = true
+					}
+				case ICmp:
+					if immEncodable(spec, ICmp, in.Cond.Swapped(), cv) {
+						in.A = in.B
+						in.HasBImm, in.BImm, in.B = true, cv, NoV
+						in.Cond = in.Cond.Swapped()
+						changed = true
+					}
+				}
+			}
+		}
+
+		// Folding and algebraic simplification.
+		if in.Ty == TI32 && in.HasBImm {
+			if av, ok := constVal[in.A]; ok && in.Op != ICmp {
+				if v, ok := foldInt(in.Op, av, in.BImm); ok {
+					*in = Ins{Op: IConst, Ty: TI32, Dst: in.Dst, Imm: v}
+					changed = true
+				}
+			} else if av, ok := constVal[in.A]; ok && in.Op == ICmp {
+				v := int64(0)
+				if in.Cond.EvalInt(int32(av), int32(in.BImm)) {
+					v = 1
+				}
+				*in = Ins{Op: IConst, Ty: TI32, Dst: in.Dst, Imm: v}
+				changed = true
+			} else {
+				changed = simplifyAlgebraic(in) || changed
+			}
+		}
+
+		// Strength reduction: multiply by a power of two.
+		if in.Op == IMul && in.HasBImm && in.BImm > 0 && in.BImm&(in.BImm-1) == 0 {
+			sh := int64(0)
+			for v := in.BImm; v > 1; v >>= 1 {
+				sh++
+			}
+			in.Op, in.BImm = IShl, sh
+			changed = true
+		}
+
+		// Update the local environment.
+		if d := in.def(); d != NoV {
+			kill(d)
+			switch {
+			case in.Op == IConst && in.Ty == TI32:
+				constVal[d] = in.Imm
+			case in.Op == IMov && in.A != d:
+				copyOf[d] = resolve(in.A)
+				if cv, ok := constVal[copyOf[d]]; ok {
+					constVal[d] = cv
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// foldInt evaluates a constant integer operation with 32-bit semantics.
+func foldInt(op IOp, a, b int64) (int64, bool) {
+	x, y := int32(a), int32(b)
+	switch op {
+	case IAdd:
+		return int64(x + y), true
+	case ISub:
+		return int64(x - y), true
+	case IMul:
+		return int64(x * y), true
+	case IDiv:
+		if y == 0 {
+			return 0, false
+		}
+		return int64(x / y), true
+	case IRem:
+		if y == 0 {
+			return 0, false
+		}
+		return int64(x % y), true
+	case IAnd:
+		return int64(x & y), true
+	case IOr:
+		return int64(x | y), true
+	case IXor:
+		return int64(x ^ y), true
+	case IShl:
+		return int64(x << (uint32(y) & 31)), true
+	case IShr:
+		return int64(int32(uint32(x) >> (uint32(y) & 31))), true
+	case ISra:
+		return int64(x >> (uint32(y) & 31)), true
+	}
+	return 0, false
+}
+
+// simplifyAlgebraic rewrites identities: x+0, x*1, x*0, x&0, x|0, x<<0...
+func simplifyAlgebraic(in *Ins) bool {
+	b := in.BImm
+	switch in.Op {
+	case IAdd, ISub, IOr, IXor, IShl, IShr, ISra:
+		if b == 0 {
+			*in = Ins{Op: IMov, Ty: in.Ty, Dst: in.Dst, A: in.A}
+			return true
+		}
+	case IMul:
+		switch b {
+		case 0:
+			*in = Ins{Op: IConst, Ty: in.Ty, Dst: in.Dst, Imm: 0}
+			return true
+		case 1:
+			*in = Ins{Op: IMov, Ty: in.Ty, Dst: in.Dst, A: in.A}
+			return true
+		}
+	case IDiv:
+		if b == 1 {
+			*in = Ins{Op: IMov, Ty: in.Ty, Dst: in.Dst, A: in.A}
+			return true
+		}
+	case IAnd:
+		if b == 0 {
+			*in = Ins{Op: IConst, Ty: in.Ty, Dst: in.Dst, Imm: 0}
+			return true
+		}
+		if b == -1 {
+			*in = Ins{Op: IMov, Ty: in.Ty, Dst: in.Dst, A: in.A}
+			return true
+		}
+	}
+	return false
+}
+
+// cseKey identifies a pure computation for local CSE.
+type cseKey struct {
+	op     IOp
+	ty     Ty
+	srcTy  Ty
+	cond   isa.Cond
+	a, b   VReg
+	hasImm bool
+	imm    int64
+	fimm   float64
+	ak     AddrKind
+	sym    string
+	slot   int
+	off    int32
+	size   uint8
+	signed bool
+	memGen int // loads: invalidated when memory may change
+}
+
+// localCSE eliminates repeated pure computations (and repeated loads
+// between memory-clobbering points) within a block.
+func localCSE(f *IRFunc, b *Block) bool {
+	changed := false
+	avail := map[cseKey]VReg{}
+	memGen := 0
+	redef := map[VReg]int{} // vreg -> generation of last redefinition
+	gen := 0
+
+	valid := func(v VReg, bornGen int) bool { return redef[v] <= bornGen }
+	born := map[cseKey]int{}
+
+	for i := range b.Ins {
+		in := &b.Ins[i]
+		// Account the definition FIRST: an expression's own def must not
+		// look like a later redefinition when a duplicate checks it.
+		if d := in.def(); d != NoV {
+			gen++
+			redef[d] = gen
+		}
+		var key cseKey
+		pure := false
+		switch in.Op {
+		case IConst:
+			key = cseKey{op: IConst, ty: in.Ty, imm: in.Imm, fimm: in.FImm}
+			pure = true
+		case IAdd, ISub, IMul, IDiv, IRem, IAnd, IOr, IXor, IShl, IShr, ISra,
+			INeg, INot, ICmp, IFAdd, IFSub, IFMul, IFDiv, IFNeg, IFCmp, ICvt:
+			key = cseKey{op: in.Op, ty: in.Ty, srcTy: in.SrcTy, cond: in.Cond,
+				a: in.A, b: in.B, hasImm: in.HasBImm, imm: in.BImm}
+			pure = in.Op != IDiv && in.Op != IRem // division kept for traps
+		case IAddr:
+			key = cseKey{op: IAddr, a: in.A, ak: in.AK, sym: in.Sym,
+				slot: in.Slot, off: in.Off}
+			pure = true
+		case ILoad:
+			key = cseKey{op: ILoad, ty: in.Ty, a: in.A, ak: in.AK, sym: in.Sym,
+				slot: in.Slot, off: in.Off, size: in.Size, signed: in.Signed,
+				memGen: memGen}
+			pure = true
+		case IStore, ICall:
+			memGen++
+		}
+		if pure {
+			if prev, ok := avail[key]; ok && prev != in.Dst &&
+				valid(prev, born[key]) && operandsValid(in, born[key], redef) {
+				*in = Ins{Op: IMov, Ty: in.Ty, Dst: in.Dst, A: prev}
+				changed = true
+			} else {
+				avail[key] = in.Dst
+				born[key] = gen
+			}
+		}
+	}
+	return changed
+}
+
+// operandsValid checks that an instruction's operands have not been
+// redefined since the candidate expression was computed.
+func operandsValid(in *Ins, bornGen int, redef map[VReg]int) bool {
+	var buf [4]VReg
+	for _, u := range in.uses(buf[:0]) {
+		if redef[u] > bornGen {
+			return false
+		}
+	}
+	return true
+}
+
+// deadCode removes instructions whose results are never used.
+func deadCode(f *IRFunc) bool {
+	changed := false
+	for {
+		uses := map[VReg]int{}
+		for _, b := range f.Blocks {
+			for i := range b.Ins {
+				var buf [4]VReg
+				for _, u := range b.Ins[i].uses(buf[:0]) {
+					uses[u]++
+				}
+			}
+		}
+		removed := false
+		for _, b := range f.Blocks {
+			out := b.Ins[:0]
+			for i := range b.Ins {
+				in := b.Ins[i]
+				d := in.def()
+				if d != NoV && uses[d] == 0 && !in.hasSideEffects() {
+					removed = true
+					continue
+				}
+				// Dead call results become void calls.
+				if in.Op == ICall && in.Dst != NoV && uses[in.Dst] == 0 {
+					in.Dst = NoV
+				}
+				out = append(out, in)
+			}
+			b.Ins = out
+		}
+		if !removed {
+			return changed
+		}
+		changed = true
+	}
+}
+
+// foldBranches turns constant conditional branches into unconditional
+// ones. (The constant operand is detected through an IConst def appearing
+// earlier in the same block.)
+func foldBranches(f *IRFunc) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ICondBr {
+			continue
+		}
+		cv, ok := blockConst(b, t.A)
+		if !ok {
+			continue
+		}
+		target := t.Imm
+		if cv == 0 {
+			target = t.Imm2
+		}
+		*t = Ins{Op: IBr, Imm: target}
+		changed = true
+	}
+	return changed
+}
+
+func blockConst(b *Block, v VReg) (int64, bool) {
+	var val int64
+	found := false
+	for i := range b.Ins {
+		in := &b.Ins[i]
+		if in.def() == v {
+			if in.Op == IConst && in.Ty == TI32 {
+				val, found = in.Imm, true
+			} else {
+				found = false
+			}
+		}
+	}
+	return val, found
+}
+
+// pruneBlocks removes unreachable blocks and threads trivial jumps
+// (a block containing only "br X" is bypassed).
+func pruneBlocks(f *IRFunc) bool {
+	changed := false
+
+	// Jump threading.
+	thread := map[int]int{}
+	for _, b := range f.Blocks {
+		if len(b.Ins) == 1 && b.Ins[0].Op == IBr {
+			thread[b.ID] = int(b.Ins[0].Imm)
+		}
+	}
+	resolve := func(id int) int {
+		seen := map[int]bool{}
+		for {
+			nxt, ok := thread[id]
+			if !ok || seen[id] {
+				return id
+			}
+			seen[id] = true
+			id = nxt
+		}
+	}
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		switch t.Op {
+		case IBr:
+			if n := resolve(int(t.Imm)); n != int(t.Imm) {
+				t.Imm = int64(n)
+				changed = true
+			}
+		case ICondBr:
+			if n := resolve(int(t.Imm)); n != int(t.Imm) {
+				t.Imm = int64(n)
+				changed = true
+			}
+			if n := resolve(int(t.Imm2)); n != int(t.Imm2) {
+				t.Imm2 = int64(n)
+				changed = true
+			}
+		}
+	}
+
+	// Reachability.
+	reach := map[int]bool{0: true}
+	work := []int{0}
+	byID := map[int]*Block{}
+	for _, b := range f.Blocks {
+		byID[b.ID] = b
+	}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range byID[id].Succs() {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	var out []*Block
+	for _, b := range f.Blocks {
+		if reach[b.ID] {
+			out = append(out, b)
+		} else {
+			changed = true
+		}
+	}
+	f.Blocks = out
+	return changed
+}
+
+// --- target-aware legalization ----------------------------------------------
+
+// Legalize rewrites addressing that the target cannot encode into
+// explicit address arithmetic, so that CSE can share the expensive
+// address computations (GCC exposes addresses the same way). layout maps
+// global symbol names to their offsets from the data base (gp).
+func Legalize(f *IRFunc, spec *isa.Spec, layout map[string]int32) {
+	for _, b := range f.Blocks {
+		var out []Ins
+		for i := range b.Ins {
+			in := b.Ins[i]
+			if (in.Op == ILoad || in.Op == IStore) && !addrEncodable(&in, spec, layout) {
+				// addr = &X; access [addr + 0]
+				av := f.NewVReg(TI32)
+				addr := Ins{Op: IAddr, Ty: TI32, Dst: av, AK: in.AK, A: in.A,
+					Sym: in.Sym, Slot: in.Slot, Off: in.Off}
+				if in.Op == IStore {
+					addr.A = NoV
+					if in.AK == AKReg {
+						addr.A = in.B
+					}
+				}
+				out = append(out, addr)
+				in.AK, in.Off, in.Sym, in.Slot = AKReg, 0, "", -1
+				if in.Op == IStore {
+					in.B = av
+				} else {
+					in.A = av
+				}
+			}
+			out = append(out, in)
+		}
+		b.Ins = out
+	}
+}
+
+// addrEncodable predicts whether the access can use a direct displacement
+// on the target. Slot offsets are not final before register allocation,
+// so slot accesses are left alone here (the code generator re-checks and
+// falls back to scratch-register arithmetic for over-range frames).
+func addrEncodable(in *Ins, spec *isa.Spec, layout map[string]int32) bool {
+	subword := in.Size == 1 || in.Size == 2
+	if subword && !spec.SubwordDisp {
+		// Sub-word modes take no displacement at all on D16: only a bare
+		// register base with zero offset can encode.
+		return in.AK == AKReg && in.Off == 0
+	}
+	wide := in.Size == 8 // doubles access off and off+4
+	switch in.AK {
+	case AKReg:
+		if in.Off == 0 && !wide {
+			return true
+		}
+		return fitsDisp(spec, in.Off, subword) && (!wide || fitsDisp(spec, in.Off+4, subword))
+	case AKGlobal:
+		off, ok := layout[in.Sym]
+		if !ok {
+			return false
+		}
+		return fitsDisp(spec, off+in.Off, subword) && (!wide || fitsDisp(spec, off+in.Off+4, subword))
+	case AKSlot:
+		return true // re-checked at code generation
+	}
+	return true
+}
+
+func fitsDisp(spec *isa.Spec, off int32, subword bool) bool {
+	if subword {
+		return spec.SubwordDisp && off >= -32768 && off <= 32767
+	}
+	// Word accesses: double-word accesses need off+4 encodable too.
+	return spec.FitsMemDisp(off)
+}
+
+// Hoist performs the loop-invariant code motion a period optimizing
+// compiler does naturally by keeping addresses and constants in
+// pseudo-registers: zero-operand pure instructions (constants, global and
+// frame addresses) inside a loop move to the loop's preheader. This is
+// what keeps D16's expensive address materializations (literal-pool
+// loads) out of inner loops, exactly as the paper's Section 3.4 assumes
+// ("the better a compiler is able to move expensive operations out of
+// inner loops, the less effect these instructions have").
+//
+// Hoisting is cost-driven, like GCC's: only materializations that cost
+// the target at least two instructions or a memory access move out;
+// cheap single-instruction constants rematerialize in place rather than
+// occupy a register (spilling a hoisted value would just trade pool
+// loads for stack traffic).
+func Hoist(f *IRFunc, spec *isa.Spec, layout map[string]int32) {
+	byID := map[int]*Block{}
+	for _, b := range f.Blocks {
+		byID[b.ID] = b
+	}
+	// A vreg is hoistable only if it has exactly one definition.
+	defCount := map[VReg]int{}
+	for _, b := range f.Blocks {
+		for i := range b.Ins {
+			if d := b.Ins[i].def(); d != NoV {
+				defCount[d]++
+			}
+		}
+	}
+
+	expensive := func(in *Ins) bool {
+		switch in.Op {
+		case IConst:
+			if in.Ty != TI32 {
+				return true // FP constants load from memory
+			}
+			return !spec.FitsMVI(int32(in.Imm))
+		case IAddr:
+			switch in.AK {
+			case AKGlobal:
+				off, ok := layout[in.Sym]
+				if !ok {
+					return true
+				}
+				goff := off + in.Off
+				return !(goff >= 0 && spec.FitsALUImm(goff))
+			case AKSlot:
+				// Frame addresses are computed with one addi in almost
+				// all frames; never worth a loop-long register.
+				return false
+			}
+		}
+		return false
+	}
+
+	// Innermost loops first (the order the IR generator records them);
+	// instructions cascade outward through nested preheaders.
+	for _, loop := range f.Loops {
+		pre, ok := byID[loop.Pre]
+		if !ok || pre.Term() == nil {
+			continue
+		}
+		var hoisted []Ins
+		for id := range loop.Blocks {
+			b, ok := byID[id]
+			if !ok {
+				continue
+			}
+			kept := b.Ins[:0]
+			for i := range b.Ins {
+				in := b.Ins[i]
+				movable := (in.Op == IConst || (in.Op == IAddr && in.AK != AKReg)) &&
+					defCount[in.Dst] == 1 && expensive(&in)
+				if movable {
+					hoisted = append(hoisted, in)
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Ins = kept
+		}
+		if len(hoisted) == 0 {
+			continue
+		}
+		// Insert before the preheader's terminator.
+		term := pre.Ins[len(pre.Ins)-1]
+		pre.Ins = append(pre.Ins[:len(pre.Ins)-1], hoisted...)
+		pre.Ins = append(pre.Ins, term)
+	}
+}
+
+// LowerCallTargets makes function addresses explicit IR values on
+// targets without a direct-call instruction (D16: every call goes
+// through a register loaded from the literal pool). Exposing the address
+// materialization to CSE and loop hoisting is what keeps D16's per-call
+// pool loads out of inner loops — a repeated call site then costs one
+// pool load per loop entry instead of one per iteration.
+func LowerCallTargets(f *IRFunc, spec *isa.Spec) {
+	if spec.HasJType {
+		return // DLXe jl is a one-instruction direct call
+	}
+	for _, b := range f.Blocks {
+		var out []Ins
+		for i := range b.Ins {
+			in := b.Ins[i]
+			if in.Op == ICall && !in.Builtin && in.A == NoV {
+				t := f.NewVReg(TI32)
+				out = append(out, Ins{Op: IAddr, Ty: TI32, Dst: t,
+					AK: AKGlobal, Sym: in.Sym})
+				in.A = t
+			}
+			out = append(out, in)
+		}
+		b.Ins = out
+	}
+}
+
+// LowerCalls rewrites multiply/divide/remainder that survived strength
+// reduction into runtime-library calls (__mul, __div, __mod); the paper's
+// machines have no integer multiply or divide instructions.
+func LowerCalls(f *IRFunc) {
+	for _, b := range f.Blocks {
+		var out []Ins
+		for i := range b.Ins {
+			in := b.Ins[i]
+			var name string
+			switch in.Op {
+			case IMul:
+				name = "__mul"
+			case IDiv:
+				name = "__div"
+			case IRem:
+				name = "__mod"
+			default:
+				out = append(out, in)
+				continue
+			}
+			bArg := in.B
+			if in.HasBImm {
+				cv := f.NewVReg(TI32)
+				out = append(out, Ins{Op: IConst, Ty: TI32, Dst: cv, Imm: in.BImm})
+				bArg = cv
+			}
+			f.HasCall = true
+			out = append(out, Ins{Op: ICall, Ty: TI32, Dst: in.Dst, A: NoV,
+				Sym: name, Args: []VReg{in.A, bArg}})
+		}
+		b.Ins = out
+	}
+}

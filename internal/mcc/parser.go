@@ -1,0 +1,663 @@
+package mcc
+
+import "fmt"
+
+// parser builds the AST and performs symbol resolution and type checking
+// as it goes (MC's grammar needs no lookahead beyond one token, and types
+// are always declared before use).
+type parser struct {
+	file string
+	lx   *lexer
+	tok  Token
+
+	errs []error
+
+	scopes  []map[string]*Sym
+	globals map[string]*Sym
+	prog    *Program
+	curFn   *Sym
+	loop    int // nesting depth for break/continue checking
+	strSeq  int
+	strPool map[string]*StrLit
+}
+
+// Parse parses and checks one MC translation unit.
+func Parse(file, src string) (*Program, error) {
+	p := &parser{
+		file:    file,
+		lx:      newLexer(file, src),
+		globals: map[string]*Sym{},
+		prog:    &Program{},
+		strPool: map[string]*StrLit{},
+	}
+	p.next()
+	for p.tok.Kind != TokEOF {
+		p.topLevel()
+		if len(p.errs) > 50 {
+			break
+		}
+	}
+	p.errs = append(p.lx.errs, p.errs...)
+	if len(p.errs) > 0 {
+		return nil, joinErrors(p.errs)
+	}
+	return p.prog, nil
+}
+
+func joinErrors(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	msg := ""
+	for i, e := range errs {
+		if i >= 12 {
+			msg += fmt.Sprintf("\n... and %d more errors", len(errs)-i)
+			break
+		}
+		if i > 0 {
+			msg += "\n"
+		}
+		msg += e.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+func (p *parser) pos() Pos { return Pos{p.tok.Line, p.tok.Col} }
+
+func (p *parser) errf(pos Pos, format string, args ...any) {
+	p.errs = append(p.errs, &Error{File: p.file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) next() { p.tok = p.lx.next() }
+
+func (p *parser) accept(k TokKind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind) Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errf(p.pos(), "expected %s, found %s", k, t.Kind)
+		// Do not consume: let the caller's recovery run.
+		return t
+	}
+	p.next()
+	return t
+}
+
+// sync skips tokens until a likely statement boundary (error recovery).
+func (p *parser) sync() {
+	for p.tok.Kind != TokEOF {
+		k := p.tok.Kind
+		p.next()
+		if k == TokSemi || k == TokRBrace {
+			return
+		}
+	}
+}
+
+// --- scopes -----------------------------------------------------------------
+
+func (p *parser) pushScope() { p.scopes = append(p.scopes, map[string]*Sym{}) }
+func (p *parser) popScope()  { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+func (p *parser) declare(s *Sym) {
+	if len(p.scopes) == 0 {
+		if old, ok := p.globals[s.Name]; ok && !(old.Kind == SymFunc && !old.Defined) {
+			p.errf(s.Pos, "redefinition of %q", s.Name)
+		}
+		p.globals[s.Name] = s
+		return
+	}
+	top := p.scopes[len(p.scopes)-1]
+	if _, ok := top[s.Name]; ok {
+		p.errf(s.Pos, "redefinition of %q", s.Name)
+	}
+	top[s.Name] = s
+}
+
+func (p *parser) lookup(name string) *Sym {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if s, ok := p.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return p.globals[name]
+}
+
+// --- declarations -----------------------------------------------------------
+
+func (p *parser) baseType() (*Type, bool) {
+	switch p.tok.Kind {
+	case TokInt:
+		p.next()
+		return TypeInt, true
+	case TokChar:
+		p.next()
+		return TypeChar, true
+	case TokFloat:
+		p.next()
+		return TypeFloat, true
+	case TokDouble:
+		p.next()
+		return TypeDouble, true
+	case TokVoid:
+		p.next()
+		return TypeVoid, true
+	}
+	return nil, false
+}
+
+// declType parses a base type plus pointer stars.
+func (p *parser) declType() (*Type, bool) {
+	t, ok := p.baseType()
+	if !ok {
+		return nil, false
+	}
+	for p.accept(TokStar) {
+		t = PtrTo(t)
+	}
+	return t, true
+}
+
+func (p *parser) topLevel() {
+	pos := p.pos()
+	t, ok := p.declType()
+	if !ok {
+		p.errf(pos, "expected declaration, found %s", p.tok.Kind)
+		p.sync()
+		return
+	}
+	name := p.expect(TokIdent)
+	if p.tok.Kind == TokLParen {
+		p.funcDecl(pos, t, name.Text)
+		return
+	}
+	p.globalVar(pos, t, name.Text)
+}
+
+func (p *parser) globalVar(pos Pos, t *Type, name string) {
+	for {
+		ty := t
+		if p.accept(TokLBracket) {
+			n := p.expect(TokIntLit)
+			p.expect(TokRBracket)
+			if n.Int <= 0 {
+				p.errf(pos, "array %q must have positive length", name)
+				n.Int = 1
+			}
+			ty = ArrayOf(t, int(n.Int))
+		}
+		if ty.K == KVoid {
+			p.errf(pos, "variable %q has void type", name)
+			ty = TypeInt
+		}
+		sym := &Sym{Name: name, Kind: SymGlobal, Ty: ty, Pos: pos, VReg: -1, Slot: -1}
+		p.declare(sym)
+		g := &GlobalDecl{Sym: sym}
+		if p.accept(TokAssign) {
+			p.globalInit(g)
+		}
+		p.prog.Globals = append(p.prog.Globals, g)
+		if p.accept(TokComma) {
+			pos = p.pos()
+			name = p.expect(TokIdent).Text
+			continue
+		}
+		p.expect(TokSemi)
+		return
+	}
+}
+
+// globalInit parses a global initializer: a constant expression, a braced
+// list of constant expressions, or a string literal for char arrays.
+func (p *parser) globalInit(g *GlobalDecl) {
+	if p.tok.Kind == TokStrLit {
+		s := p.tok.Str
+		p.next()
+		if g.Sym.Ty.K != KArray || g.Sym.Ty.Elem.K != KChar {
+			p.errf(g.Sym.Pos, "string initializer requires a char array")
+			return
+		}
+		if len(s)+1 > g.Sym.Ty.N {
+			p.errf(g.Sym.Pos, "string initializer too long for %q", g.Sym.Name)
+			return
+		}
+		g.InitStr = s
+		return
+	}
+	if p.accept(TokLBrace) {
+		for {
+			g.Init = append(g.Init, p.constExpr())
+			if !p.accept(TokComma) {
+				break
+			}
+			if p.tok.Kind == TokRBrace {
+				break // trailing comma
+			}
+		}
+		p.expect(TokRBrace)
+		if g.Sym.Ty.K != KArray {
+			p.errf(g.Sym.Pos, "braced initializer requires an array")
+		} else if len(g.Init) > g.Sym.Ty.N {
+			p.errf(g.Sym.Pos, "too many initializers for %q", g.Sym.Name)
+		}
+		return
+	}
+	g.Init = []Expr{p.constExpr()}
+	if g.Sym.Ty.K == KArray {
+		p.errf(g.Sym.Pos, "array %q needs a braced initializer", g.Sym.Name)
+	}
+}
+
+// constExpr parses an initializer expression; it must fold to a literal.
+func (p *parser) constExpr() Expr {
+	e := p.conditional()
+	switch e.(type) {
+	case *IntLit, *FloatLit:
+		return e
+	}
+	// Allow negated literals to have been folded by checkUnary; anything
+	// else is not constant.
+	p.errf(e.Pos(), "initializer is not a constant expression")
+	return &IntLit{exprBase: exprBase{P: e.Pos(), Ty: TypeInt}}
+}
+
+func (p *parser) funcDecl(pos Pos, ret *Type, name string) {
+	p.expect(TokLParen)
+	var params []*Sym
+	if !p.accept(TokRParen) {
+		if p.tok.Kind == TokVoid && ret != nil {
+			// "f(void)" — but also "f(void* p)"; peek for star.
+			save := p.tok
+			p.next()
+			if p.tok.Kind == TokRParen {
+				p.next()
+				goto done
+			}
+			p.errf(Pos{save.Line, save.Col}, "void parameter")
+			p.sync()
+			return
+		}
+		for {
+			ppos := p.pos()
+			t, ok := p.declType()
+			if !ok {
+				p.errf(ppos, "expected parameter type")
+				p.sync()
+				return
+			}
+			pname := p.expect(TokIdent)
+			if p.accept(TokLBracket) { // T name[] == T *name
+				p.expect(TokRBracket)
+				t = PtrTo(t)
+			}
+			if !t.IsScalar() {
+				p.errf(ppos, "parameter %q must be scalar", pname.Text)
+				t = TypeInt
+			}
+			params = append(params, &Sym{Name: pname.Text, Kind: SymParam,
+				Ty: t, Pos: ppos, VReg: -1, Slot: -1})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		p.expect(TokRParen)
+	}
+done:
+	sym := p.globals[name]
+	if sym == nil || sym.Kind != SymFunc {
+		sym = &Sym{Name: name, Kind: SymFunc, Ty: TypeVoid, Ret: ret,
+			Params: params, Pos: pos, VReg: -1, Slot: -1}
+		p.declare(sym)
+	} else {
+		// Re-declaration: check signature compatibility.
+		if !sym.Ret.Same(ret) || len(sym.Params) != len(params) {
+			p.errf(pos, "conflicting declaration of %q", name)
+		}
+		sym.Params = params
+	}
+	if p.accept(TokSemi) {
+		return // prototype
+	}
+	if sym.Defined {
+		p.errf(pos, "redefinition of function %q", name)
+	}
+	sym.Defined = true
+	p.curFn = sym
+	p.pushScope()
+	for _, prm := range params {
+		p.declare(prm)
+	}
+	body := p.block()
+	p.popScope()
+	p.curFn = nil
+	p.prog.Funcs = append(p.prog.Funcs, &FuncDecl{Sym: sym, Body: body})
+}
+
+// --- statements -------------------------------------------------------------
+
+func (p *parser) block() *BlockStmt {
+	b := &BlockStmt{stmtBase: stmtBase{p.pos()}}
+	p.expect(TokLBrace)
+	p.pushScope()
+	for p.tok.Kind != TokRBrace && p.tok.Kind != TokEOF {
+		b.List = append(b.List, p.stmt())
+	}
+	p.popScope()
+	p.expect(TokRBrace)
+	return b
+}
+
+func (p *parser) stmt() Stmt {
+	pos := p.pos()
+	switch p.tok.Kind {
+	case TokLBrace:
+		return p.block()
+	case TokSemi:
+		p.next()
+		return &BlockStmt{stmtBase: stmtBase{pos}}
+	case TokInt, TokChar, TokFloat, TokDouble:
+		return p.localDecl()
+	case TokIf:
+		p.next()
+		p.expect(TokLParen)
+		cond := p.condExprChecked()
+		p.expect(TokRParen)
+		then := p.stmt()
+		var els Stmt
+		if p.accept(TokElse) {
+			els = p.stmt()
+		}
+		return &IfStmt{stmtBase{pos}, cond, then, els}
+	case TokWhile:
+		p.next()
+		p.expect(TokLParen)
+		cond := p.condExprChecked()
+		p.expect(TokRParen)
+		p.loop++
+		body := p.stmt()
+		p.loop--
+		return &WhileStmt{stmtBase{pos}, cond, body, false}
+	case TokDo:
+		p.next()
+		p.loop++
+		body := p.stmt()
+		p.loop--
+		p.expect(TokWhile)
+		p.expect(TokLParen)
+		cond := p.condExprChecked()
+		p.expect(TokRParen)
+		p.expect(TokSemi)
+		return &WhileStmt{stmtBase{pos}, cond, body, true}
+	case TokFor:
+		return p.forStmt()
+	case TokReturn:
+		p.next()
+		var x Expr
+		if p.tok.Kind != TokSemi {
+			x = p.expr()
+		}
+		p.expect(TokSemi)
+		return p.checkReturn(pos, x)
+	case TokBreak:
+		p.next()
+		p.expect(TokSemi)
+		if p.loop == 0 {
+			p.errf(pos, "break outside loop")
+		}
+		return &BreakStmt{stmtBase{pos}}
+	case TokContinue:
+		p.next()
+		p.expect(TokSemi)
+		if p.loop == 0 {
+			p.errf(pos, "continue outside loop")
+		}
+		return &ContinueStmt{stmtBase{pos}}
+	default:
+		x := p.expr()
+		p.expect(TokSemi)
+		return &ExprStmt{stmtBase{pos}, x}
+	}
+}
+
+func (p *parser) forStmt() Stmt {
+	pos := p.pos()
+	p.expect(TokFor)
+	p.expect(TokLParen)
+	p.pushScope() // a for-init declaration scopes over the loop
+	var init Stmt
+	switch p.tok.Kind {
+	case TokSemi:
+		p.next()
+	case TokInt, TokChar, TokFloat, TokDouble:
+		init = p.localDecl()
+	default:
+		x := p.expr()
+		p.expect(TokSemi)
+		init = &ExprStmt{stmtBase{pos}, x}
+	}
+	var cond Expr
+	if p.tok.Kind != TokSemi {
+		cond = p.checkCond(p.expr())
+	}
+	p.expect(TokSemi)
+	var step Expr
+	if p.tok.Kind != TokRParen {
+		step = p.expr()
+	}
+	p.expect(TokRParen)
+	p.loop++
+	body := p.stmt()
+	p.loop--
+	p.popScope()
+	return &ForStmt{stmtBase{pos}, init, cond, step, body}
+}
+
+// localDecl parses "type name [= init], name2 ...;" and returns a block
+// of DeclStmts (so one statement node suffices).
+func (p *parser) localDecl() Stmt {
+	pos := p.pos()
+	t, _ := p.declType()
+	b := &BlockStmt{stmtBase: stmtBase{pos}}
+	for {
+		dpos := p.pos()
+		name := p.expect(TokIdent)
+		ty := t
+		if p.accept(TokLBracket) {
+			n := p.expect(TokIntLit)
+			p.expect(TokRBracket)
+			if n.Int <= 0 {
+				p.errf(dpos, "array %q must have positive length", name.Text)
+				n.Int = 1
+			}
+			ty = ArrayOf(t, int(n.Int))
+		}
+		sym := &Sym{Name: name.Text, Kind: SymLocal, Ty: ty, Pos: dpos, VReg: -1, Slot: -1}
+		p.declare(sym)
+		var init Expr
+		if p.accept(TokAssign) {
+			if ty.K == KArray {
+				p.errf(dpos, "local arrays cannot have initializers")
+			}
+			init = p.checkAssignConv(dpos, ty, p.assignExpr())
+		}
+		b.List = append(b.List, &DeclStmt{stmtBase{dpos}, sym, init})
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	p.expect(TokSemi)
+	if len(b.List) == 1 {
+		return b.List[0]
+	}
+	return b
+}
+
+func (p *parser) condExprChecked() Expr { return p.checkCond(p.expr()) }
+
+// --- expressions -------------------------------------------------------------
+
+// expr parses a full (comma-free) expression.
+func (p *parser) expr() Expr { return p.assignExpr() }
+
+func (p *parser) assignExpr() Expr {
+	lhs := p.conditional()
+	switch p.tok.Kind {
+	case TokAssign, TokPlusEq, TokMinusEq, TokStarEq, TokSlashEq, TokPercentEq,
+		TokAmpEq, TokPipeEq, TokCaretEq, TokShlEq, TokShrEq:
+		op := p.tok.Kind
+		pos := p.pos()
+		p.next()
+		rhs := p.assignExpr()
+		return p.checkAssign(pos, op, lhs, rhs)
+	}
+	return lhs
+}
+
+// conditional is the precedence-climbing ladder (no ?: in MC).
+func (p *parser) conditional() Expr { return p.binary(0) }
+
+var precTable = map[TokKind]int{
+	TokOrOr:   1,
+	TokAndAnd: 2,
+	TokPipe:   3,
+	TokCaret:  4,
+	TokAmp:    5,
+	TokEq:     6, TokNe: 6,
+	TokLt: 7, TokLe: 7, TokGt: 7, TokGe: 7,
+	TokShl: 8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+func (p *parser) binary(minPrec int) Expr {
+	lhs := p.unary()
+	for {
+		prec, ok := precTable[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return lhs
+		}
+		op := p.tok.Kind
+		pos := p.pos()
+		p.next()
+		rhs := p.binary(prec + 1)
+		lhs = p.checkBinary(pos, op, lhs, rhs)
+	}
+}
+
+func (p *parser) unary() Expr {
+	pos := p.pos()
+	switch p.tok.Kind {
+	case TokMinus, TokTilde, TokBang, TokStar, TokAmp:
+		op := p.tok.Kind
+		p.next()
+		x := p.unary()
+		return p.checkUnary(pos, op, x)
+	case TokInc, TokDec:
+		op := p.tok.Kind
+		p.next()
+		x := p.unary()
+		return p.checkIncDec(pos, op, x, false)
+	case TokLParen:
+		// Cast or parenthesized expression.
+		save := *p.lx
+		saveTok := p.tok
+		p.next()
+		if t, ok := p.declType(); ok && p.tok.Kind == TokRParen {
+			p.next()
+			x := p.unary()
+			return p.checkCast(pos, t, x)
+		}
+		*p.lx = save
+		p.tok = saveTok
+		return p.postfix()
+	default:
+		return p.postfix()
+	}
+}
+
+func (p *parser) postfix() Expr {
+	x := p.primary()
+	for {
+		switch p.tok.Kind {
+		case TokLBracket:
+			pos := p.pos()
+			p.next()
+			idx := p.expr()
+			p.expect(TokRBracket)
+			x = p.checkIndex(pos, x, idx)
+		case TokInc, TokDec:
+			op := p.tok.Kind
+			pos := p.pos()
+			p.next()
+			x = p.checkIncDec(pos, op, x, true)
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) primary() Expr {
+	pos := p.pos()
+	switch p.tok.Kind {
+	case TokIntLit, TokCharLit:
+		v := p.tok.Int
+		p.next()
+		return &IntLit{exprBase{pos, TypeInt}, v}
+	case TokFloatLit:
+		v := p.tok.Flt
+		p.next()
+		return &FloatLit{exprBase{pos, TypeDouble}, v}
+	case TokStrLit:
+		s := p.tok.Str
+		p.next()
+		return p.internString(pos, s)
+	case TokLParen:
+		p.next()
+		x := p.expr()
+		p.expect(TokRParen)
+		return x
+	case TokIdent:
+		name := p.tok.Text
+		p.next()
+		if p.tok.Kind == TokLParen {
+			return p.call(pos, name)
+		}
+		return p.checkIdent(pos, name)
+	default:
+		p.errf(pos, "expected expression, found %s", p.tok.Kind)
+		p.next()
+		return &IntLit{exprBase{pos, TypeInt}, 0}
+	}
+}
+
+func (p *parser) call(pos Pos, name string) Expr {
+	p.expect(TokLParen)
+	var args []Expr
+	if p.tok.Kind != TokRParen {
+		for {
+			args = append(args, p.assignExpr())
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	p.expect(TokRParen)
+	return p.checkCall(pos, name, args)
+}
+
+func (p *parser) internString(pos Pos, s string) Expr {
+	if lit, ok := p.strPool[s]; ok {
+		return &StrLit{exprBase{pos, lit.Ty}, s, lit.Label}
+	}
+	p.strSeq++
+	lit := &StrLit{exprBase{pos, PtrTo(TypeChar)}, s, fmt.Sprintf(".str%d", p.strSeq)}
+	p.strPool[s] = lit
+	p.prog.Strings = append(p.prog.Strings, lit)
+	return lit
+}

@@ -1,0 +1,230 @@
+package mcc
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse("t.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func parseErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := Parse("t.mc", src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", wantSub)
+	}
+	if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not mention %q", err, wantSub)
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	p := parseOK(t, `
+int a;
+int b = 5;
+int arr[10];
+int init[4] = {1, 2, 3};
+char msg[8] = "hi";
+double d = 2.5;
+char c = 'x';
+int *ptr;
+int main() { return 0; }
+`)
+	if len(p.Globals) != 8 {
+		t.Fatalf("%d globals", len(p.Globals))
+	}
+	byName := map[string]*GlobalDecl{}
+	for _, g := range p.Globals {
+		byName[g.Sym.Name] = g
+	}
+	if byName["arr"].Sym.Ty.K != KArray || byName["arr"].Sym.Ty.N != 10 {
+		t.Error("array type wrong")
+	}
+	if len(byName["init"].Init) != 3 {
+		t.Error("array initializer count wrong")
+	}
+	if byName["msg"].InitStr != "hi" {
+		t.Error("string initializer wrong")
+	}
+	if byName["ptr"].Sym.Ty.K != KPtr || byName["ptr"].Sym.Ty.Elem.K != KInt {
+		t.Error("pointer type wrong")
+	}
+	if v, ok := byName["c"].Init[0].(*IntLit); !ok || v.Val != 'x' {
+		t.Error("char initializer wrong")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// 2 + 3 * 4 == 14 folds at parse time.
+	p := parseOK(t, `int x = 2 + 3 * 4; int main() { return 0; }`)
+	if v := p.Globals[0].Init[0].(*IntLit).Val; v != 14 {
+		t.Errorf("2+3*4 folded to %d", v)
+	}
+	cases := map[string]int64{
+		"1 << 2 + 1":        8,  // + binds tighter than <<
+		"7 & 3 | 4":         7,  // & over |
+		"1 + 2 == 3":        1,  // arithmetic over comparison
+		"10 - 4 - 3":        3,  // left associative
+		"100 / 10 / 5":      2,  // left associative
+		"-3 * -4":           12, // unary minus
+		"~0 & 15":           15,
+		"(1 < 2) + (2 < 1)": 1,
+		"!5 + !0":           1,
+		"17 % 5":            2,
+	}
+	for src, want := range cases {
+		p := parseOK(t, "int x = "+src+"; int main() { return 0; }")
+		if v := p.Globals[0].Init[0].(*IntLit).Val; v != want {
+			t.Errorf("%s folded to %d, want %d", src, v, want)
+		}
+	}
+}
+
+func TestParseFunctionShapes(t *testing.T) {
+	p := parseOK(t, `
+int leaf() { return 1; }
+void nothing(int x) { }
+double fp(double a, float b) { return a; }
+int arrparam(int a[], char *s) { return a[0] + s[0]; }
+int main() { return leaf(); }
+`)
+	if len(p.Funcs) != 5 {
+		t.Fatalf("%d functions", len(p.Funcs))
+	}
+	ap := p.Funcs[3].Sym
+	if ap.Params[0].Ty.K != KPtr {
+		t.Error("array parameter should decay to pointer")
+	}
+	if p.Funcs[1].Sym.Ret.K != KVoid {
+		t.Error("void return type lost")
+	}
+}
+
+func TestPrototypesAndForwardCalls(t *testing.T) {
+	parseOK(t, `
+int helper(int x);
+int main() { return helper(1); }
+int helper(int x) { return x + 1; }
+`)
+	parseErr(t, `
+int helper(int x);
+int main() { return helper(1, 2); }
+int helper(int x) { return x; }
+`, "arguments")
+	parseErr(t, `
+int helper(int x);
+double helper(int x) { return 1.0; }
+int main() { return 0; }
+`, "conflicting")
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := []struct{ name, src, sub string }{
+		{"void var", "void v; int main() { return 0; }", "void"},
+		{"neg array", "int a[0]; int main() { return 0; }", "positive"},
+		{"bad index", "int main() { int x; return x[0]; }", "pointer or array"},
+		{"deref int", "int main() { int x; return *x; }", "dereference"},
+		{"float mod", "int main() { double d; d = d % 2.0; return 0; }", "integer"},
+		{"float shift", "int main() { double d; d = d << 1; return 0; }", "integer"},
+		{"negate ptr", "int main() { int *p; p = -p; return 0; }", "negate"},
+		{"string to int array", "int a[4] = \"hi\"; int main() { return 0; }", "char array"},
+		{"long string", "char s[2] = \"toolong\"; int main() { return 0; }", "too long"},
+		{"array scalar init", "int a[3] = 5; int main() { return 0; }", "braced"},
+		{"too many inits", "int a[2] = {1,2,3}; int main() { return 0; }", "too many"},
+		{"nonconst init", "int g = 1; int h = g; int main() { return 0; }", "constant"},
+		{"return in void", "void f() { return 3; } int main() { return 0; }", "returns a value"},
+		{"missing return value", "int f() { return; } int main() { return 0; }", "must return"},
+		{"continue outside", "int main() { continue; return 0; }", "outside"},
+		{"address of literal", "int main() { int *p = &5; return 0; }", "address"},
+		{"inc literal", "int main() { 5++; return 0; }", "lvalue"},
+		{"compound on array", "int a[3]; int main() { a += 1; return 0; }", "lvalue"},
+		{"builtin arity", "int main() { print_int(1, 2); return 0; }", "one argument"},
+		{"builtin type", "int main() { int x; print_str(x); return 0; }", "type"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			parseErr(t, tc.src, tc.sub)
+		})
+	}
+}
+
+func TestScoping(t *testing.T) {
+	// Inner declarations shadow outer ones; for-init scopes to the loop.
+	src := `
+int x = 1;
+int main() {
+	int x = 2;
+	{
+		int x = 3;
+		print_int(x);
+	}
+	print_int(x);
+	int i;
+	for (i = 0; i < 1; i++) {
+		int x = 4;
+		print_int(x);
+	}
+	print_int(x);
+	return 0;
+}`
+	parseOK(t, src)
+
+	parseErr(t, `
+int main() {
+	for (int j = 0; j < 3; j++) { }
+	return j;
+}`, "undefined")
+}
+
+func TestCasts(t *testing.T) {
+	parseOK(t, `
+int main() {
+	double d = 3.7;
+	int i = (int)d;
+	char *p = (char*)0;
+	int addr = (int)p;
+	double back = (double)i;
+	print_int(i + addr);
+	print_double(back);
+	return 0;
+}`)
+	parseErr(t, `int main() { int *p; double d; p = (int*)d; return 0; }`, "cast")
+}
+
+func TestStringInterning(t *testing.T) {
+	p := parseOK(t, `
+int main() {
+	print_str("same");
+	print_str("same");
+	print_str("different");
+	return 0;
+}`)
+	if len(p.Strings) != 2 {
+		t.Errorf("%d interned strings, want 2", len(p.Strings))
+	}
+}
+
+func TestLexerDetails(t *testing.T) {
+	parseOK(t, `
+/* block comment
+   spanning lines */
+int main() {
+	// line comment
+	int hex = 0xFF;
+	int big = 0x7FFFFFFF;
+	double sci = 1.5e3;
+	double frac = 0.25;
+	print_int(hex + (sci > 0.0) + (frac > 0.0) + big);
+	return 0;
+}`)
+	parseErr(t, `int main() { return 0; } /* unterminated`, "comment")
+	parseErr(t, "int main() { char c = 'ab'; return 0; }", "")
+	parseErr(t, `int main() { print_str("unterminated); return 0; }`, "")
+}

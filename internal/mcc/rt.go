@@ -1,0 +1,198 @@
+package mcc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Runtime library, emitted as target-specialized assembly. The paper's
+// machines have no integer multiply or divide (Table 1), so the compiler
+// calls these shift-based routines; they use only caller-saved registers
+// (plus r7, saved on the stack, in the divide routines) and follow the
+// standard calling convention: arguments in r3/r4, result in r3.
+//
+// Target differences are exactly the ISA differences the paper studies:
+// on D16 the condition register is r0 and a branch-on-register needs a
+// move through r0; DLXe branches on any register and uses r0 as zero.
+
+// rtBuilder assembles runtime source with target-conditional idioms.
+type rtBuilder struct {
+	spec *isa.Spec
+	b    strings.Builder
+}
+
+func (r *rtBuilder) ln(format string, args ...any) {
+	fmt.Fprintf(&r.b, format+"\n", args...)
+}
+
+// bz branches to label when reg is zero (with its delay slot filled by a
+// nop).
+func (r *rtBuilder) bz(reg, label string) {
+	if r.spec.R0IsCC {
+		if reg != "r0" {
+			r.ln("\tmv r0, %s", reg)
+		}
+		r.ln("\tbz r0, %s", label)
+	} else {
+		r.ln("\tbz %s, %s", reg, label)
+	}
+	r.ln("\tnop")
+}
+
+func (r *rtBuilder) bnz(reg, label string) {
+	if r.spec.R0IsCC {
+		if reg != "r0" {
+			r.ln("\tmv r0, %s", reg)
+		}
+		r.ln("\tbnz r0, %s", label)
+	} else {
+		r.ln("\tbnz %s, %s", reg, label)
+	}
+	r.ln("\tnop")
+}
+
+// neg negates a register in place.
+func (r *rtBuilder) neg(reg string) {
+	if r.spec.Enc == isa.EncD16 {
+		r.ln("\tneg %s", reg)
+	} else {
+		r.ln("\tsub %s, r0, %s", reg, reg)
+	}
+}
+
+// cc returns the register compares write (r0 on D16, r15 on DLXe).
+func (r *rtBuilder) cc() string {
+	if r.spec.R0IsCC {
+		return "r0"
+	}
+	return "r15"
+}
+
+// zr returns a register holding zero; materialize must have been called
+// on D16 (r15), DLXe has r0.
+func (r *rtBuilder) zr() string {
+	if r.spec.Enc == isa.EncD16 {
+		return "r15"
+	}
+	return "r0"
+}
+
+// zero ensures the zr register holds 0 (a no-op on DLXe).
+func (r *rtBuilder) zero() {
+	if r.spec.Enc == isa.EncD16 {
+		r.ln("\tmvi r15, 0")
+	}
+}
+
+// RuntimeSource returns the startup code and arithmetic runtime for spec.
+func RuntimeSource(spec *isa.Spec) string {
+	r := &rtBuilder{spec: spec}
+	r.ln("\t.text")
+	r.ln("\t.global _start")
+	r.ln("_start:")
+	r.ln("\tcall main")
+	r.ln("\tnop")
+	r.ln("\ttrap 0")
+	r.ln("\tnop")
+	r.ln("\t.pool")
+
+	r.mul()
+	r.divmod("__div", false)
+	r.divmod("__mod", true)
+	return r.b.String()
+}
+
+// mul: r3 = r3 * r4 (low 32 bits; correct for signed and unsigned).
+func (r *rtBuilder) mul() {
+	r.ln("__mul:")
+	r.ln("\tmvi r5, 0")
+	r.ln("\tmvi r14, 1")
+	r.ln(".Lmul_loop:")
+	r.bz("r4", ".Lmul_done")
+	r.ln("\tmv r6, r4")
+	r.ln("\tand r6, r6, r14")
+	r.bz("r6", ".Lmul_skip")
+	r.ln("\tadd r5, r5, r3")
+	r.ln(".Lmul_skip:")
+	r.ln("\tshli r3, r3, 1")
+	r.ln("\tshri r4, r4, 1")
+	r.ln("\tbr .Lmul_loop")
+	r.ln("\tnop")
+	r.ln(".Lmul_done:")
+	r.ln("\tmv r3, r5")
+	r.ln("\tret")
+	r.ln("\tnop")
+	r.ln("\t.pool")
+}
+
+// divmod: r3 = r3 / r4 (or r3 % r4 when mod is set), C truncation
+// semantics; division by zero returns 0.
+func (r *rtBuilder) divmod(name string, mod bool) {
+	p := strings.TrimPrefix(name, "__")
+	l := func(s string) string { return fmt.Sprintf(".L%s_%s", p, s) }
+	cc := r.cc()
+
+	r.ln("%s:", name)
+	r.ln("\tsubi sp, sp, 8")
+	r.ln("\tst r7, 0(sp)")
+	r.ln("\tmvi r7, 0") // negation count
+	r.zero()
+
+	// if (a < 0) { a = -a; r7++ }
+	r.ln("\tcmp.lt %s, r3, %s", cc, r.zr())
+	r.bz(cc, l("apos"))
+	r.neg("r3")
+	r.ln("\taddi r7, r7, 1")
+	r.ln("%s:", l("apos"))
+	if mod {
+		// Remainder takes the dividend's sign only; remember it in bit 1.
+		r.ln("\tshli r7, r7, 1")
+	}
+	// if (b < 0) { b = -b; r7++ }
+	r.ln("\tcmp.lt %s, r4, %s", cc, r.zr())
+	r.bz(cc, l("bpos"))
+	r.neg("r4")
+	r.ln("\taddi r7, r7, 1")
+	r.ln("%s:", l("bpos"))
+
+	r.ln("\tmvi r5, 0") // quotient
+	r.ln("\tmvi r6, 0") // remainder
+	r.bz("r4", l("done"))
+	r.ln("\tmvi r14, 32")
+	r.ln("%s:", l("loop"))
+	r.ln("\tshli r6, r6, 1")
+	r.ln("\tcmp.lt %s, r3, %s", cc, r.zr()) // top bit of a
+	r.bz(cc, l("nobit"))
+	r.ln("\taddi r6, r6, 1")
+	r.ln("%s:", l("nobit"))
+	r.ln("\tshli r3, r3, 1")
+	r.ln("\tshli r5, r5, 1")
+	r.ln("\tcmp.leu %s, r4, r6", cc) // b <= rem (unsigned)
+	r.bz(cc, l("nosub"))
+	r.ln("\tsub r6, r6, r4")
+	r.ln("\taddi r5, r5, 1")
+	r.ln("%s:", l("nosub"))
+	r.ln("\tsubi r14, r14, 1")
+	r.bnz("r14", l("loop"))
+
+	r.ln("%s:", l("done"))
+	result := "r5"
+	if mod {
+		result = "r6"
+		// Sign bit for the remainder is bit 1 of r7 (the dividend's).
+		r.ln("\tshri r7, r7, 1")
+	}
+	r.ln("\tmvi r14, 1")
+	r.ln("\tand r7, r7, r14")
+	r.bz("r7", l("pos"))
+	r.neg(result)
+	r.ln("%s:", l("pos"))
+	r.ln("\tmv r3, %s", result)
+	r.ln("\tld r7, 0(sp)")
+	r.ln("\taddi sp, sp, 8")
+	r.ln("\tret")
+	r.ln("\tnop")
+	r.ln("\t.pool")
+}

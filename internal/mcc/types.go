@@ -1,0 +1,140 @@
+package mcc
+
+import "fmt"
+
+// Kind enumerates MC type kinds.
+type Kind uint8
+
+const (
+	KVoid Kind = iota
+	KInt
+	KChar
+	KFloat
+	KDouble
+	KPtr
+	KArray
+)
+
+// Type is an MC type. Types are structural; compare with Same.
+type Type struct {
+	K    Kind
+	Elem *Type // KPtr, KArray
+	N    int   // KArray length
+}
+
+// Singleton scalar types.
+var (
+	TypeVoid   = &Type{K: KVoid}
+	TypeInt    = &Type{K: KInt}
+	TypeChar   = &Type{K: KChar}
+	TypeFloat  = &Type{K: KFloat}
+	TypeDouble = &Type{K: KDouble}
+)
+
+// PtrTo returns a pointer type.
+func PtrTo(e *Type) *Type { return &Type{K: KPtr, Elem: e} }
+
+// ArrayOf returns an array type.
+func ArrayOf(e *Type, n int) *Type { return &Type{K: KArray, Elem: e, N: n} }
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int {
+	switch t.K {
+	case KChar:
+		return 1
+	case KInt, KFloat, KPtr:
+		return 4
+	case KDouble:
+		return 8
+	case KArray:
+		return t.N * t.Elem.Size()
+	default:
+		return 0
+	}
+}
+
+// Align returns the required alignment in bytes.
+func (t *Type) Align() int {
+	if t.K == KArray {
+		return t.Elem.Align()
+	}
+	if s := t.Size(); s > 0 {
+		return s
+	}
+	return 1
+}
+
+// IsInteger reports whether t is int or char.
+func (t *Type) IsInteger() bool { return t.K == KInt || t.K == KChar }
+
+// IsFloat reports whether t is float or double.
+func (t *Type) IsFloat() bool { return t.K == KFloat || t.K == KDouble }
+
+// IsArith reports whether t participates in arithmetic.
+func (t *Type) IsArith() bool { return t.IsInteger() || t.IsFloat() }
+
+// IsPtr reports whether t is a pointer.
+func (t *Type) IsPtr() bool { return t.K == KPtr }
+
+// IsScalar reports whether a value of t fits in a register.
+func (t *Type) IsScalar() bool { return t.IsArith() || t.IsPtr() }
+
+// Decay converts arrays to element pointers (the C rule).
+func (t *Type) Decay() *Type {
+	if t.K == KArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+// Same reports structural type equality.
+func (t *Type) Same(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.K != o.K {
+		return false
+	}
+	switch t.K {
+	case KPtr:
+		return t.Elem.Same(o.Elem)
+	case KArray:
+		return t.N == o.N && t.Elem.Same(o.Elem)
+	default:
+		return true
+	}
+}
+
+// String renders the type in C syntax.
+func (t *Type) String() string {
+	switch t.K {
+	case KVoid:
+		return "void"
+	case KInt:
+		return "int"
+	case KChar:
+		return "char"
+	case KFloat:
+		return "float"
+	case KDouble:
+		return "double"
+	case KPtr:
+		return t.Elem.String() + "*"
+	case KArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.N)
+	default:
+		return "?"
+	}
+}
+
+// Common returns the usual-arithmetic-conversion result type of two
+// arithmetic operand types: double > float > int (char promotes to int).
+func Common(a, b *Type) *Type {
+	if a.K == KDouble || b.K == KDouble {
+		return TypeDouble
+	}
+	if a.K == KFloat || b.K == KFloat {
+		return TypeFloat
+	}
+	return TypeInt
+}

@@ -1,0 +1,184 @@
+// Package pipeline is an event-driven cycle-level timing model of the
+// paper's five-stage machine with a single shared memory port.
+//
+// The paper evaluates performance with the closed-form estimate
+//
+//	Cycles = IC + Interlocks + Latency*(IRequests + DRequests)
+//
+// and notes (footnote 2) that it differs from their measured pipeline
+// behaviour by less than 1% — slightly pessimistic because it assumes
+// memory and FPU latencies never overlap. This package provides the
+// measured side of that comparison: it tracks, per instruction, the
+// issue cycle implied by operand readiness (load delay and FPU
+// latencies), instruction-fetch completion through a bus-wide fetch
+// buffer, and memory-port contention between instruction and data
+// requests. Attach an Engine to a sim.Machine and compare Engine.Cycles
+// with the memsys formula (the ablate-model experiment does exactly
+// this).
+package pipeline
+
+import (
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Config fixes the memory interface.
+type Config struct {
+	// BusBytes is the fetch/memory bus width in bytes (4 or 8).
+	BusBytes uint32
+	// WaitStates is the extra bus cycles per memory request.
+	WaitStates int64
+	// SharedPort serializes instruction and data requests through one
+	// memory port (a structural hazard the paper's closed-form estimate
+	// ignores); the default models separate instruction and data paths,
+	// matching the formula's assumptions.
+	SharedPort bool
+}
+
+// Engine is the cycle-level model; it implements sim.Observer.
+type Engine struct {
+	cfg Config
+
+	clock    int64 // cycle the most recent instruction issued
+	iBusFree int64 // first cycle the instruction port is free
+	dBusFree int64 // first cycle the data port is free
+
+	bufAddr uint32
+	bufOK   bool
+
+	ready     [64]int64 // operand availability per register
+	fpsrReady int64
+
+	// Counters.
+	Instrs        int64
+	FetchRequests int64
+	DataRequests  int64
+	FetchStall    int64 // issue cycles lost to instruction fetch
+	DataBusStall  int64 // load-use delay added by bus contention
+	Interlock     int64 // issue cycles lost to operand readiness
+}
+
+// New returns an engine for the given memory interface.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg}
+}
+
+var _ sim.Observer = (*Engine)(nil)
+
+// Exec implements sim.Observer: it advances the model by one issued
+// instruction.
+func (e *Engine) Exec(pc uint32, in isa.Instr) {
+	e.Instrs++
+	issue := e.clock + 1
+
+	// Instruction fetch: a miss in the one-block fetch buffer is a memory
+	// request; the instruction cannot issue before the word arrives.
+	block := pc &^ (e.cfg.BusBytes - 1)
+	if !e.bufOK || block != e.bufAddr {
+		e.FetchRequests++
+		start := max64(e.iBusFree, issue)
+		done := start + e.cfg.WaitStates
+		e.iBusFree = done + 1
+		if e.cfg.SharedPort {
+			e.dBusFree = e.iBusFree
+		}
+		if done > issue {
+			e.FetchStall += done - issue
+			issue = done
+		}
+		e.bufAddr, e.bufOK = block, true
+	}
+
+	// Operand interlocks (load delay slots, FPU latencies).
+	preIssue := issue
+	var buf [4]isa.Reg
+	for _, r := range in.Uses(buf[:0]) {
+		if t := e.ready[r]; t > issue {
+			issue = t
+		}
+	}
+	if in.Op == isa.RDSR && e.fpsrReady > issue {
+		issue = e.fpsrReady
+	}
+	e.Interlock += issue - preIssue
+	e.clock = issue
+
+	// Result latency.
+	lat := int64(sim.LatNormal)
+	switch {
+	case in.Op.IsLoad():
+		// handled below with the bus transaction
+		lat = 0
+	case in.Op == isa.FADDS, in.Op == isa.FSUBS, in.Op == isa.FADDD,
+		in.Op == isa.FSUBD, in.Op == isa.FNEGS, in.Op == isa.FNEGD:
+		lat = sim.LatFAdd
+	case in.Op == isa.FMULS, in.Op == isa.FMULD:
+		lat = sim.LatFMul
+	case in.Op == isa.FDIVS:
+		lat = sim.LatFDivS
+	case in.Op == isa.FDIVD:
+		lat = sim.LatFDivD
+	case in.Op.IsFCmp():
+		e.fpsrReady = issue + sim.LatFCmp
+	case in.Op >= isa.CVTSISF && in.Op <= isa.CVTSFSI:
+		lat = sim.LatConvert
+	}
+	if d := in.Def(); d.Valid() && lat > 0 {
+		e.ready[d] = issue + lat
+	}
+	switch {
+	case in.Op.IsLoad():
+		// The MEM-stage access is a memory request through the shared
+		// port; the loaded value is ready when the transfer completes.
+		done := e.dataAccess(issue)
+		if d := in.Def(); d.Valid() {
+			e.ready[d] = done + 1
+			e.DataBusStall += done + 1 - (issue + sim.LatLoad)
+		}
+	case in.Op.IsStore():
+		e.dataAccess(issue)
+	}
+}
+
+// Load implements sim.Observer (accounted in Exec via the op class).
+func (e *Engine) Load(addr uint32, size uint32) {}
+
+// Store implements sim.Observer (accounted in Exec via the op class).
+func (e *Engine) Store(addr uint32, size uint32) {}
+
+// dataAccess charges one data memory request starting no earlier than
+// the MEM stage of the instruction issued at `issue`; it returns the
+// cycle the transfer completes.
+func (e *Engine) dataAccess(issue int64) int64 {
+	e.DataRequests++
+	start := max64(e.dBusFree, issue+1)
+	done := start + e.cfg.WaitStates
+	e.dBusFree = done + 1
+	if e.cfg.SharedPort {
+		e.iBusFree = e.dBusFree
+	}
+	return done
+}
+
+// Cycles returns total cycles including pipeline drain.
+func (e *Engine) Cycles() int64 {
+	if e.Instrs == 0 {
+		return 0
+	}
+	return e.clock + 4 // WB of the last instruction
+}
+
+// CPI returns cycles per instruction.
+func (e *Engine) CPI() float64 {
+	if e.Instrs == 0 {
+		return 0
+	}
+	return float64(e.Cycles()) / float64(e.Instrs)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

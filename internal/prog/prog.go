@@ -1,0 +1,102 @@
+// Package prog defines the linked program image produced by the assembler
+// and consumed by the simulator: a text segment, a data segment, a symbol
+// table and an entry point.
+//
+// The image's Size is the paper's static code-size metric: "the number of
+// bytes in the stripped binary executable file, including both text and
+// data segments".
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Image is a linked, loadable program.
+type Image struct {
+	// Enc is the instruction encoding of the text segment.
+	Enc isa.Encoding
+	// Cmp8 marks the D16+ encoding variant (8-bit move immediate plus
+	// 8-bit compare-equal immediate); see isa.D16Plus.
+	Cmp8 bool
+	// Text holds the instruction bytes, loaded at isa.TextBase.
+	Text []byte
+	// Data holds the initialized data bytes, loaded at isa.DataBase.
+	Data []byte
+	// BSS is the size in bytes of zero-initialized data following Data.
+	BSS uint32
+	// Entry is the address execution starts at.
+	Entry uint32
+	// Symbols maps defined global labels to their absolute addresses.
+	Symbols map[string]uint32
+
+	// TextInstrs is the number of instructions in the text segment,
+	// excluding literal-pool words (the static instruction count).
+	TextInstrs int
+	// PoolBytes is the number of literal-pool bytes embedded in text.
+	PoolBytes int
+}
+
+// Size returns the stripped binary size in bytes (text + initialized
+// data), the paper's code-density measure.
+func (im *Image) Size() int { return len(im.Text) + len(im.Data) }
+
+// TextEnd returns the first address past the text segment.
+func (im *Image) TextEnd() uint32 { return isa.TextBase + uint32(len(im.Text)) }
+
+// DataEnd returns the first address past initialized data and BSS.
+func (im *Image) DataEnd() uint32 {
+	return isa.DataBase + uint32(len(im.Data)) + im.BSS
+}
+
+// Load copies the image into a flat memory whose index 0 corresponds to
+// physical address 0. It returns an error if the image does not fit.
+func (im *Image) Load(mem []byte) error {
+	if im.TextEnd() > uint32(len(mem)) || im.DataEnd() > uint32(len(mem)) {
+		return fmt.Errorf("prog: image (text end %#x, data end %#x) exceeds memory size %#x",
+			im.TextEnd(), im.DataEnd(), len(mem))
+	}
+	copy(mem[isa.TextBase:], im.Text)
+	copy(mem[isa.DataBase:], im.Data)
+	for i := uint32(0); i < im.BSS; i++ {
+		mem[isa.DataBase+uint32(len(im.Data))+i] = 0
+	}
+	return nil
+}
+
+// Lookup returns the address of a symbol.
+func (im *Image) Lookup(name string) (uint32, bool) {
+	a, ok := im.Symbols[name]
+	return a, ok
+}
+
+// SymbolNames returns all symbol names in address order (for listings and
+// profiling).
+func (im *Image) SymbolNames() []string {
+	names := make([]string, 0, len(im.Symbols))
+	for n := range im.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ai, aj := im.Symbols[names[i]], im.Symbols[names[j]]
+		if ai != aj {
+			return ai < aj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// SymbolAt returns the name of the closest symbol at or below addr within
+// the text segment, for trace annotation.
+func (im *Image) SymbolAt(addr uint32) string {
+	best, bestAddr := "", uint32(0)
+	for n, a := range im.Symbols {
+		if a <= addr && a >= bestAddr && a >= isa.TextBase && a < im.TextEnd() {
+			best, bestAddr = n, a
+		}
+	}
+	return best
+}

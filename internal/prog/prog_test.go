@@ -1,0 +1,81 @@
+package prog
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func testImage() *Image {
+	return &Image{
+		Enc:   isa.EncD16,
+		Text:  []byte{0x12, 0x34, 0x56, 0x78},
+		Data:  []byte{1, 2, 3},
+		BSS:   16,
+		Entry: isa.TextBase,
+		Symbols: map[string]uint32{
+			"_start": isa.TextBase,
+			"f":      isa.TextBase + 2,
+			"g":      isa.DataBase,
+		},
+	}
+}
+
+func TestSizeExcludesBSS(t *testing.T) {
+	im := testImage()
+	if im.Size() != 7 {
+		t.Errorf("Size = %d, want 7 (text 4 + data 3, bss excluded)", im.Size())
+	}
+}
+
+func TestSegmentBounds(t *testing.T) {
+	im := testImage()
+	if im.TextEnd() != isa.TextBase+4 {
+		t.Error("TextEnd wrong")
+	}
+	if im.DataEnd() != isa.DataBase+3+16 {
+		t.Error("DataEnd must include BSS")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	im := testImage()
+	mem := make([]byte, isa.MemSize)
+	mem[isa.DataBase+5] = 0xFF // must be zeroed (bss range)
+	if err := im.Load(mem); err != nil {
+		t.Fatal(err)
+	}
+	if mem[isa.TextBase] != 0x12 || mem[isa.DataBase+2] != 3 {
+		t.Error("segments not loaded")
+	}
+	if mem[isa.DataBase+5] != 0 {
+		t.Error("bss not zeroed")
+	}
+}
+
+func TestLoadRejectsTinyMemory(t *testing.T) {
+	im := testImage()
+	if err := im.Load(make([]byte, 64)); err == nil {
+		t.Fatal("expected out-of-memory error")
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	im := testImage()
+	if a, ok := im.Lookup("f"); !ok || a != isa.TextBase+2 {
+		t.Error("Lookup wrong")
+	}
+	if _, ok := im.Lookup("nope"); ok {
+		t.Error("Lookup found a ghost")
+	}
+	names := im.SymbolNames()
+	if len(names) != 3 || names[0] != "_start" || names[1] != "f" || names[2] != "g" {
+		t.Errorf("SymbolNames order %v", names)
+	}
+	if im.SymbolAt(isa.TextBase+3) != "f" {
+		t.Errorf("SymbolAt = %q, want f", im.SymbolAt(isa.TextBase+3))
+	}
+	if im.SymbolAt(isa.TextBase+1) != "_start" {
+		t.Error("SymbolAt below f should be _start")
+	}
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Trap service codes (the simulator's "operating system").
+const (
+	TrapHalt    = 0 // stop execution
+	TrapPutInt  = 1 // print r3 as signed decimal
+	TrapPutChar = 2 // print low byte of r3
+	TrapPutStr  = 3 // print NUL-terminated string at address r3
+	TrapPutFlt  = 4 // print f1 as %g
+)
+
+// exec executes one decoded instruction. For control transfers it returns
+// the target address and taken=true; the caller implements the
+// architectural delay slot.
+func (m *Machine) exec(in isa.Instr) (target uint32, taken bool, err error) {
+	g := m.rdG
+	switch in.Op {
+	case isa.NOP:
+
+	// --- memory -----------------------------------------------------------
+	case isa.LD:
+		addr := uint32(g(in.Rs1) + in.Imm)
+		v, err := m.load32(addr)
+		if err != nil {
+			return 0, false, err
+		}
+		m.notifyLoad(addr, 4)
+		m.wrG(in.Rd, int32(v))
+	case isa.LDC:
+		addr := uint32(int32(m.PC) + in.Imm)
+		v, err := m.load32(addr)
+		if err != nil {
+			return 0, false, err
+		}
+		m.notifyLoad(addr, 4)
+		m.wrG(in.Rd, int32(v))
+	case isa.LDH, isa.LDHU:
+		addr := uint32(g(in.Rs1) + in.Imm)
+		if err := m.checkAddr(addr, 2); err != nil {
+			return 0, false, err
+		}
+		m.notifyLoad(addr, 2)
+		v := binary.LittleEndian.Uint16(m.Mem[addr:])
+		if in.Op == isa.LDH {
+			m.wrG(in.Rd, int32(int16(v)))
+		} else {
+			m.wrG(in.Rd, int32(v))
+		}
+	case isa.LDB, isa.LDBU:
+		addr := uint32(g(in.Rs1) + in.Imm)
+		if err := m.checkAddr(addr, 1); err != nil {
+			return 0, false, err
+		}
+		m.notifyLoad(addr, 1)
+		v := m.Mem[addr]
+		if in.Op == isa.LDB {
+			m.wrG(in.Rd, int32(int8(v)))
+		} else {
+			m.wrG(in.Rd, int32(v))
+		}
+	case isa.ST:
+		addr := uint32(g(in.Rs1) + in.Imm)
+		if err := m.store32(addr, uint32(g(in.Rd))); err != nil {
+			return 0, false, err
+		}
+		m.notifyStore(addr, 4)
+	case isa.STH:
+		addr := uint32(g(in.Rs1) + in.Imm)
+		if err := m.checkAddr(addr, 2); err != nil {
+			return 0, false, err
+		}
+		binary.LittleEndian.PutUint16(m.Mem[addr:], uint16(g(in.Rd)))
+		m.notifyStore(addr, 2)
+	case isa.STB:
+		addr := uint32(g(in.Rs1) + in.Imm)
+		if err := m.checkAddr(addr, 1); err != nil {
+			return 0, false, err
+		}
+		m.Mem[addr] = byte(g(in.Rd))
+		m.notifyStore(addr, 1)
+
+	// --- control ----------------------------------------------------------
+	case isa.BR:
+		m.Stats.Branches++
+		m.Stats.Taken++
+		return uint32(int32(m.PC) + in.Imm), true, nil
+	case isa.BZ, isa.BNZ:
+		m.Stats.Branches++
+		cond := g(in.Rs1) == 0
+		if in.Op == isa.BNZ {
+			cond = !cond
+		}
+		if cond {
+			m.Stats.Taken++
+			return uint32(int32(m.PC) + in.Imm), true, nil
+		}
+	case isa.J, isa.JL:
+		m.Stats.Jumps++
+		if in.Op == isa.JL {
+			m.wrG(isa.RegLink, int32(m.PC+2*m.ib)) // return past the delay slot
+		}
+		if in.HasImm {
+			return uint32(int32(m.PC) + in.Imm), true, nil
+		}
+		return uint32(g(in.Rs1)), true, nil
+	case isa.JZ, isa.JNZ:
+		m.Stats.Jumps++
+		cond := g(isa.RegCC) == 0
+		if in.Op == isa.JNZ {
+			cond = !cond
+		}
+		if cond {
+			return uint32(g(in.Rs1)), true, nil
+		}
+
+	// --- integer ALU ------------------------------------------------------
+	case isa.CMP:
+		b := in.Imm
+		if !in.HasImm {
+			b = g(in.Rs2)
+		}
+		v := int32(0)
+		if in.Cond.EvalInt(g(in.Rs1), b) {
+			v = 1
+		}
+		m.wrG(in.Rd, v)
+	case isa.ADD:
+		m.wrG(in.Rd, g(in.Rs1)+g(in.Rs2))
+	case isa.ADDI:
+		m.wrG(in.Rd, g(in.Rs1)+in.Imm)
+	case isa.SUB:
+		m.wrG(in.Rd, g(in.Rs1)-g(in.Rs2))
+	case isa.SUBI:
+		m.wrG(in.Rd, g(in.Rs1)-in.Imm)
+	case isa.AND:
+		m.wrG(in.Rd, g(in.Rs1)&g(in.Rs2))
+	case isa.ANDI:
+		m.wrG(in.Rd, g(in.Rs1)&in.Imm)
+	case isa.OR:
+		m.wrG(in.Rd, g(in.Rs1)|g(in.Rs2))
+	case isa.ORI:
+		m.wrG(in.Rd, g(in.Rs1)|in.Imm)
+	case isa.XOR:
+		m.wrG(in.Rd, g(in.Rs1)^g(in.Rs2))
+	case isa.XORI:
+		m.wrG(in.Rd, g(in.Rs1)^in.Imm)
+	case isa.NEG:
+		m.wrG(in.Rd, -g(in.Rs1))
+	case isa.INV:
+		m.wrG(in.Rd, ^g(in.Rs1))
+	case isa.SHL:
+		m.wrG(in.Rd, g(in.Rs1)<<(uint32(g(in.Rs2))&31))
+	case isa.SHLI:
+		m.wrG(in.Rd, g(in.Rs1)<<(uint32(in.Imm)&31))
+	case isa.SHR:
+		m.wrG(in.Rd, int32(uint32(g(in.Rs1))>>(uint32(g(in.Rs2))&31)))
+	case isa.SHRI:
+		m.wrG(in.Rd, int32(uint32(g(in.Rs1))>>(uint32(in.Imm)&31)))
+	case isa.SHRA:
+		m.wrG(in.Rd, g(in.Rs1)>>(uint32(g(in.Rs2))&31))
+	case isa.SHRAI:
+		m.wrG(in.Rd, g(in.Rs1)>>(uint32(in.Imm)&31))
+	case isa.MV:
+		m.wrG(in.Rd, g(in.Rs1))
+	case isa.MVI:
+		m.wrG(in.Rd, in.Imm)
+	case isa.MVHI:
+		m.wrG(in.Rd, in.Imm<<16)
+
+	// --- register-file transfer --------------------------------------------
+	case isa.MVFL:
+		f := in.Rd.Num()
+		m.FPR[f] = m.FPR[f]&^0xFFFFFFFF | uint64(uint32(g(in.Rs1)))
+	case isa.MVFH:
+		f := in.Rd.Num()
+		m.FPR[f] = m.FPR[f]&0xFFFFFFFF | uint64(uint32(g(in.Rs1)))<<32
+	case isa.MFFL:
+		m.wrG(in.Rd, int32(uint32(m.FPR[in.Rs1.Num()])))
+	case isa.MFFH:
+		m.wrG(in.Rd, int32(uint32(m.FPR[in.Rs1.Num()]>>32)))
+	case isa.FMV:
+		m.FPR[in.Rd.Num()] = m.FPR[in.Rs1.Num()]
+
+	// --- floating point -----------------------------------------------------
+	case isa.FADDS, isa.FSUBS, isa.FMULS, isa.FDIVS:
+		a, b := f32(m.FPR[in.Rs1.Num()]), f32(m.FPR[in.Rs2.Num()])
+		var v float32
+		switch in.Op {
+		case isa.FADDS:
+			v = a + b
+		case isa.FSUBS:
+			v = a - b
+		case isa.FMULS:
+			v = a * b
+		default:
+			v = a / b
+		}
+		m.FPR[in.Rd.Num()] = b32(v)
+	case isa.FNEGS:
+		m.FPR[in.Rd.Num()] = b32(-f32(m.FPR[in.Rs1.Num()]))
+	case isa.FADDD, isa.FSUBD, isa.FMULD, isa.FDIVD:
+		a, b := f64(m.FPR[in.Rs1.Num()]), f64(m.FPR[in.Rs2.Num()])
+		var v float64
+		switch in.Op {
+		case isa.FADDD:
+			v = a + b
+		case isa.FSUBD:
+			v = a - b
+		case isa.FMULD:
+			v = a * b
+		default:
+			v = a / b
+		}
+		m.FPR[in.Rd.Num()] = b64(v)
+	case isa.FNEGD:
+		m.FPR[in.Rd.Num()] = b64(-f64(m.FPR[in.Rs1.Num()]))
+	case isa.FCMPS:
+		m.FPSR = in.Cond.EvalFloat(float64(f32(m.FPR[in.Rs1.Num()])), float64(f32(m.FPR[in.Rs2.Num()])))
+	case isa.FCMPD:
+		m.FPSR = in.Cond.EvalFloat(f64(m.FPR[in.Rs1.Num()]), f64(m.FPR[in.Rs2.Num()]))
+	case isa.RDSR:
+		v := int32(0)
+		if m.FPSR {
+			v = 1
+		}
+		m.wrG(in.Rd, v)
+
+	// --- conversions --------------------------------------------------------
+	case isa.CVTSISF:
+		m.FPR[in.Rd.Num()] = b32(float32(g(in.Rs1)))
+	case isa.CVTSIDF:
+		m.FPR[in.Rd.Num()] = b64(float64(g(in.Rs1)))
+	case isa.CVTSFDF:
+		m.FPR[in.Rd.Num()] = b64(float64(f32(m.FPR[in.Rs1.Num()])))
+	case isa.CVTDFSF:
+		m.FPR[in.Rd.Num()] = b32(float32(f64(m.FPR[in.Rs1.Num()])))
+	case isa.CVTDFSI:
+		m.wrG(in.Rd, int32(f64(m.FPR[in.Rs1.Num()])))
+	case isa.CVTSFSI:
+		m.wrG(in.Rd, int32(f32(m.FPR[in.Rs1.Num()])))
+
+	case isa.TRAP:
+		return 0, false, m.trap(in.Imm)
+
+	default:
+		return 0, false, m.fault("unimplemented operation %s", in.Op)
+	}
+	return 0, false, nil
+}
+
+func (m *Machine) trap(code int32) error {
+	switch code {
+	case TrapHalt:
+		m.halted = true
+	case TrapPutInt:
+		fmt.Fprintf(&m.Output, "%d", m.rdG(isa.R(3)))
+	case TrapPutChar:
+		m.Output.WriteByte(byte(m.rdG(isa.R(3))))
+	case TrapPutStr:
+		s, err := m.ReadCString(uint32(m.rdG(isa.R(3))))
+		if err != nil {
+			return err
+		}
+		m.Output.WriteString(s)
+	case TrapPutFlt:
+		fmt.Fprintf(&m.Output, "%g", f64(m.FPR[isa.FRetReg.Num()]))
+	default:
+		return m.fault("unknown trap %d", code)
+	}
+	return nil
+}

@@ -1,0 +1,338 @@
+// Package sim is the architecture simulator: it executes programs in
+// either instruction encoding on the paper's five-stage pipeline model.
+//
+// Execution is functional-plus-timing: instructions execute one per cycle
+// at peak, with the two dynamic penalty sources the paper models layered
+// on top:
+//
+//   - interlocks, counted by a register scoreboard (one delay slot on
+//     loads, multi-cycle FPU result latencies), and
+//   - instruction/data memory traffic, exposed to pluggable Observers so
+//     that memory-system timing models (memsys, cache) can be attached —
+//     several at once — without re-running the program.
+//
+// Control transfers have one architectural delay slot: the instruction
+// after a branch/jump always executes.
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/d16"
+	"repro/internal/dlxe"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// FPU result latencies in cycles (a result produced at cycle t is usable
+// by an instruction issuing at t+latency). Ordinary operations have
+// latency 1; loads have 2 (the one-cycle delay slot).
+const (
+	LatNormal  = 1
+	LatLoad    = 2
+	LatFAdd    = 2
+	LatFMul    = 5
+	LatFDivS   = 12
+	LatFDivD   = 19
+	LatFCmp    = 2
+	LatConvert = 2
+)
+
+// Stats accumulates the dynamic measures of one run.
+type Stats struct {
+	Instrs     int64 // path length (includes delay-slot instructions)
+	Interlocks int64 // stall cycles from load delay and FPU latencies
+	Loads      int64 // data-read instructions (including ldc pool loads)
+	Stores     int64
+	PoolLoads  int64 // of Loads, D16 ldc literal-pool reads
+	FetchWords int64 // 32-bit instruction words fetched (simple sequential buffer)
+	Branches   int64 // executed PC-relative branches
+	Taken      int64 // of which taken
+	Jumps      int64
+	Nops       int64
+}
+
+// DataOps returns total loads + stores (the paper's MemOps).
+func (s *Stats) DataOps() int64 { return s.Loads + s.Stores }
+
+// Observer receives execution events for trace-driven timing models. All
+// methods are called in program order.
+type Observer interface {
+	// Exec is called for every executed instruction with its address.
+	Exec(pc uint32, in isa.Instr)
+	// Load/Store are called for data accesses (size in bytes).
+	Load(addr uint32, size uint32)
+	Store(addr uint32, size uint32)
+}
+
+// Fault is an execution error (bad memory access, undefined instruction,
+// run-away program).
+type Fault struct {
+	PC  uint32
+	Msg string
+}
+
+func (f *Fault) Error() string { return fmt.Sprintf("sim: fault at pc=%#x: %s", f.PC, f.Msg) }
+
+// Machine is one simulated processor plus memory.
+type Machine struct {
+	Enc isa.Encoding
+	Mem []byte
+
+	PC   uint32
+	GPR  [32]int32
+	FPR  [32]uint64
+	FPSR bool // FP status register (last FP compare result)
+
+	r0Zero bool
+	halted bool
+
+	// Output collects trap-based program output; experiment harnesses
+	// compare it against the benchmark's expected checksum.
+	Output bytes.Buffer
+
+	Stats Stats
+
+	text      []isa.Instr // pre-decoded text segment
+	textErr   []error
+	textBase  uint32
+	ib        uint32
+	obs       []Observer
+	t         int64 // issue cycle counter for the scoreboard
+	ready     [64]int64
+	fpsrReady int64
+	lastWord  uint32 // last fetched 32-bit word address (+1 so 0 = none)
+}
+
+// New loads an image into a fresh machine.
+func New(img *prog.Image) (*Machine, error) {
+	m := &Machine{
+		Enc:      img.Enc,
+		Mem:      make([]byte, isa.MemSize),
+		PC:       img.Entry,
+		r0Zero:   img.Enc == isa.EncDLXe,
+		textBase: isa.TextBase,
+		ib:       img.Enc.InstrBytes(),
+	}
+	if err := img.Load(m.Mem); err != nil {
+		return nil, err
+	}
+	m.GPR[isa.RegSP.Num()] = int32(isa.StackTop)
+	m.GPR[isa.RegGP.Num()] = int32(isa.DataBase)
+
+	// Pre-decode the text segment. Literal-pool words may not decode;
+	// they fault only if executed.
+	n := len(img.Text) / int(m.ib)
+	m.text = make([]isa.Instr, n)
+	m.textErr = make([]error, n)
+	for i := 0; i < n; i++ {
+		pc := m.textBase + uint32(i)*m.ib
+		if m.Enc == isa.EncD16 {
+			w := binary.LittleEndian.Uint16(img.Text[i*2:])
+			m.text[i], m.textErr[i] = d16.DecodeV(w, pc, d16.Variant{Cmp8: img.Cmp8})
+		} else {
+			w := binary.LittleEndian.Uint32(img.Text[i*4:])
+			m.text[i], m.textErr[i] = dlxe.Decode(w, pc)
+		}
+	}
+	return m, nil
+}
+
+// Attach adds a timing-model observer.
+func (m *Machine) Attach(o Observer) { m.obs = append(m.obs, o) }
+
+// Halted reports whether the program executed trap 0.
+func (m *Machine) Halted() bool { return m.halted }
+
+func (m *Machine) fault(format string, args ...any) error {
+	return &Fault{PC: m.PC, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (m *Machine) fetch(pc uint32) (isa.Instr, error) {
+	if pc < m.textBase || pc%m.ib != 0 {
+		return isa.Instr{}, m.fault("instruction fetch outside text (%#x)", pc)
+	}
+	i := int((pc - m.textBase) / m.ib)
+	if i >= len(m.text) {
+		return isa.Instr{}, m.fault("instruction fetch outside text (%#x)", pc)
+	}
+	if m.textErr[i] != nil {
+		return isa.Instr{}, m.fault("executing undecodable word: %v", m.textErr[i])
+	}
+	return m.text[i], nil
+}
+
+// Run executes until trap 0 or maxInstrs instructions. It returns an
+// error on any fault; exceeding maxInstrs is a fault (runaway program).
+func (m *Machine) Run(maxInstrs int64) error {
+	pc, npc := m.PC, m.PC+m.ib
+	for !m.halted {
+		if m.Stats.Instrs >= maxInstrs {
+			m.PC = pc
+			return m.fault("instruction budget %d exhausted", maxInstrs)
+		}
+		m.PC = pc
+		in, err := m.fetch(pc)
+		if err != nil {
+			return err
+		}
+		m.account(pc, in)
+		target, taken, err := m.exec(in)
+		if err != nil {
+			return err
+		}
+		for _, o := range m.obs {
+			o.Exec(pc, in)
+		}
+		if taken {
+			pc, npc = npc, target
+		} else {
+			pc, npc = npc, npc+m.ib
+		}
+	}
+	m.PC = pc
+	return nil
+}
+
+// account updates path-length statistics, the sequential-fetch word count
+// and the interlock scoreboard for one instruction.
+func (m *Machine) account(pc uint32, in isa.Instr) {
+	m.Stats.Instrs++
+	if in.Op == isa.NOP {
+		m.Stats.Nops++
+	}
+
+	// Word-granularity instruction traffic (Table 8's measure): a new
+	// 32-bit word is fetched whenever execution leaves the current word,
+	// sequentially or by branching.
+	w := pc&^3 + 1
+	if w != m.lastWord {
+		m.Stats.FetchWords++
+		m.lastWord = w
+	}
+
+	// Scoreboard: stall until all sources are ready.
+	issue := m.t
+	var srcs [4]isa.Reg
+	uses := in.Uses(srcs[:0])
+	for _, r := range uses {
+		if rt := m.ready[r]; rt > issue {
+			issue = rt
+		}
+	}
+	if in.Op == isa.RDSR && m.fpsrReady > issue {
+		issue = m.fpsrReady
+	}
+	m.Stats.Interlocks += issue - m.t
+	m.t = issue + 1
+
+	lat := int64(LatNormal)
+	switch {
+	case in.Op.IsLoad():
+		lat = LatLoad
+	case in.Op == isa.FADDS, in.Op == isa.FSUBS, in.Op == isa.FADDD, in.Op == isa.FSUBD,
+		in.Op == isa.FNEGS, in.Op == isa.FNEGD:
+		lat = LatFAdd
+	case in.Op == isa.FMULS, in.Op == isa.FMULD:
+		lat = LatFMul
+	case in.Op == isa.FDIVS:
+		lat = LatFDivS
+	case in.Op == isa.FDIVD:
+		lat = LatFDivD
+	case in.Op.IsFCmp():
+		m.fpsrReady = issue + LatFCmp
+	case in.Op >= isa.CVTSISF && in.Op <= isa.CVTSFSI:
+		lat = LatConvert
+	}
+	if d := in.Def(); d.Valid() {
+		m.ready[d] = issue + lat
+	}
+}
+
+// ExpectedCycles returns the scoreboard's ideal cycle count: one cycle per
+// instruction plus interlocks (no memory-system penalties).
+func (m *Machine) ExpectedCycles() int64 { return m.Stats.Instrs + m.Stats.Interlocks }
+
+// --- register and memory access --------------------------------------------
+
+func (m *Machine) rdG(r isa.Reg) int32 {
+	if m.r0Zero && r == isa.RegCC {
+		return 0
+	}
+	return m.GPR[r.Num()]
+}
+
+func (m *Machine) wrG(r isa.Reg, v int32) {
+	if m.r0Zero && r == isa.RegCC {
+		return
+	}
+	m.GPR[r.Num()] = v
+}
+
+func (m *Machine) checkAddr(addr, size uint32) error {
+	if addr+size > uint32(len(m.Mem)) || addr+size < addr {
+		return m.fault("memory access %#x size %d out of range", addr, size)
+	}
+	if size > 1 && addr%size != 0 {
+		return m.fault("unaligned %d-byte access at %#x", size, addr)
+	}
+	return nil
+}
+
+func (m *Machine) load32(addr uint32) (uint32, error) {
+	if err := m.checkAddr(addr, 4); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(m.Mem[addr:]), nil
+}
+
+func (m *Machine) store32(addr uint32, v uint32) error {
+	if err := m.checkAddr(addr, 4); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(m.Mem[addr:], v)
+	return nil
+}
+
+// ReadCString reads a NUL-terminated string from simulated memory (used by
+// the puts trap and by tests).
+func (m *Machine) ReadCString(addr uint32) (string, error) {
+	var b []byte
+	for {
+		if addr >= uint32(len(m.Mem)) {
+			return "", m.fault("string read out of range at %#x", addr)
+		}
+		c := m.Mem[addr]
+		if c == 0 {
+			return string(b), nil
+		}
+		b = append(b, c)
+		addr++
+		if len(b) > 1<<20 {
+			return "", m.fault("unterminated string")
+		}
+	}
+}
+
+func f32(bits uint64) float32 { return math.Float32frombits(uint32(bits)) }
+func f64(bits uint64) float64 { return math.Float64frombits(bits) }
+func b32(v float32) uint64    { return uint64(math.Float32bits(v)) }
+func b64(v float64) uint64    { return math.Float64bits(v) }
+func (m *Machine) notifyLoad(addr, size uint32) {
+	m.Stats.Loads++
+	if addr >= isa.TextBase && addr < isa.DataBase {
+		m.Stats.PoolLoads++
+	}
+	for _, o := range m.obs {
+		o.Load(addr, size)
+	}
+}
+func (m *Machine) notifyStore(addr, size uint32) {
+	m.Stats.Stores++
+	for _, o := range m.obs {
+		o.Store(addr, size)
+	}
+}

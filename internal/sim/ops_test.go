@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// Differential op-semantics tests: each register-register ALU operation
+// is executed on random operands on both encodings and compared against
+// Go's int32 semantics.
+
+type opCase struct {
+	mnemonic string
+	model    func(a, b int32) int32
+}
+
+var rrOps = []opCase{
+	{"add", func(a, b int32) int32 { return a + b }},
+	{"sub", func(a, b int32) int32 { return a - b }},
+	{"and", func(a, b int32) int32 { return a & b }},
+	{"or", func(a, b int32) int32 { return a | b }},
+	{"xor", func(a, b int32) int32 { return a ^ b }},
+	{"shl", func(a, b int32) int32 { return a << (uint32(b) & 31) }},
+	{"shr", func(a, b int32) int32 { return int32(uint32(a) >> (uint32(b) & 31)) }},
+	{"shra", func(a, b int32) int32 { return a >> (uint32(b) & 31) }},
+}
+
+func TestALUSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, op := range rrOps {
+		for trial := 0; trial < 8; trial++ {
+			a := int32(rng.Uint32())
+			b := int32(rng.Uint32())
+			if op.mnemonic == "shl" || op.mnemonic == "shr" || op.mnemonic == "shra" {
+				b = int32(rng.Intn(32))
+			}
+			src := fmt.Sprintf(`
+	.text
+_start:
+	la %s
+	la %s
+	%s r4, r4, r5
+	mv r3, r4
+	trap 1
+	trap 0
+	nop
+	.pool
+`, fmt.Sprintf("r4, %d", a), fmt.Sprintf("r5, %d", b), op.mnemonic)
+			want := fmt.Sprintf("%d", op.model(a, b))
+			for _, spec := range []*isa.Spec{isa.D16(), isa.DLXe()} {
+				m := run(t, src, spec)
+				if got := m.Output.String(); got != want {
+					t.Errorf("%s(%d,%d) on %s = %s, want %s",
+						op.mnemonic, a, b, spec, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompareSemanticsAllConditions(t *testing.T) {
+	pairs := [][2]int32{
+		{0, 0}, {1, 2}, {2, 1}, {-1, 1}, {1, -1},
+		{-5, -5}, {-2147483648, 2147483647}, {2147483647, -2147483648},
+	}
+	conds := []isa.Cond{isa.LT, isa.LTU, isa.LE, isa.LEU, isa.EQ, isa.NE,
+		isa.GT, isa.GTU, isa.GE, isa.GEU}
+	for _, p := range pairs {
+		for _, cond := range conds {
+			want := "0"
+			if cond.EvalInt(p[0], p[1]) {
+				want = "1"
+			}
+			// DLXe has every condition natively.
+			src := fmt.Sprintf(`
+	.text
+_start:
+	la r4, %d
+	la r5, %d
+	cmp.%s r3, r4, r5
+	trap 1
+	trap 0
+	nop
+	.pool
+`, p[0], p[1], cond)
+			m := run(t, src, isa.DLXe())
+			if got := m.Output.String(); got != want {
+				t.Errorf("cmp.%s(%d,%d) = %s, want %s", cond, p[0], p[1], got, want)
+			}
+			// D16 supports the lt/le/eq family directly (the compiler
+			// swaps operands for gt-forms).
+			if cond.D16Legal() {
+				srcD := fmt.Sprintf(`
+	.text
+_start:
+	la r4, %d
+	la r5, %d
+	cmp.%s r0, r4, r5
+	mv r3, r0
+	trap 1
+	trap 0
+	nop
+	.pool
+`, p[0], p[1], cond)
+				m := run(t, srcD, isa.D16())
+				if got := m.Output.String(); got != want {
+					t.Errorf("D16 cmp.%s(%d,%d) = %s, want %s", cond, p[0], p[1], got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestShiftAmountMasking(t *testing.T) {
+	// Register shift amounts use only the low five bits.
+	src := `
+	.text
+_start:
+	mvi r4, 1
+	la  r5, 33
+	shl r4, r4, r5
+	mv  r3, r4
+	trap 1
+	trap 0
+	nop
+	.pool
+`
+	for _, spec := range bothSpecs() {
+		m := run(t, src, spec)
+		if got := m.Output.String(); got != "2" {
+			t.Errorf("%s: 1 << 33 = %s, want 2 (amount masked)", spec, got)
+		}
+	}
+}
+
+func TestMVHIAndORICompose(t *testing.T) {
+	src := `
+	.text
+_start:
+	mvhi r4, 4660        ; 0x1234
+	ori  r4, r4, 22136   ; 0x5678
+	mv   r3, r4
+	trap 1
+	trap 0
+	nop
+`
+	m := run(t, src, isa.DLXe())
+	if got := m.Output.String(); got != "305419896" { // 0x12345678
+		t.Errorf("mvhi/ori = %s, want 305419896", got)
+	}
+}
+
+func TestD16NegInv(t *testing.T) {
+	src := `
+	.text
+_start:
+	mvi r4, 25
+	neg r4
+	mv  r3, r4
+	trap 1
+	mvi r3, 32
+	trap 2
+	mvi r4, 25
+	inv r4
+	mv  r3, r4
+	trap 1
+	trap 0
+	nop
+`
+	m := run(t, src, isa.D16())
+	if got := m.Output.String(); got != "-25 -26" {
+		t.Errorf("neg/inv = %q, want %q", got, "-25 -26")
+	}
+}
+
+func TestFloatConversionSemantics(t *testing.T) {
+	// Round-trip int -> double -> single -> int, and truncation toward
+	// zero for negative values.
+	src := `
+	.text
+_start:
+	la    r4, -7
+	si2df f1, r4
+	df2sf f2, f1
+	sf2si r3, f2
+	trap 1
+	mvi r3, 32
+	trap 2
+	la    r4, 1000001
+	si2sf f3, r4      ; not exactly representable in float32
+	sf2si r3, f3
+	trap 1
+	trap 0
+	nop
+	.pool
+`
+	want := fmt.Sprintf("-7 %d", int32(float32(1000001)))
+	for _, spec := range bothSpecs() {
+		m := run(t, src, spec)
+		if got := m.Output.String(); got != want {
+			t.Errorf("%s: conversions = %q, want %q", spec, got, want)
+		}
+	}
+}
+
+func TestLDCAlignmentSemantics(t *testing.T) {
+	// An LDC at an odd halfword address still loads relative to the
+	// word-aligned PC; exercise both alignments.
+	src := `
+	.text
+_start:
+	nop              ; shifts the next ldc to pc%4 == 2
+	ldc r0, =123456
+	mv  r3, r0
+	trap 1
+	mvi r3, 32
+	trap 2
+	ldc r0, =654321  ; this one at pc%4 == 0
+	mv  r3, r0
+	trap 1
+	trap 0
+	nop
+	.pool
+`
+	m := run(t, src, isa.D16())
+	if got := m.Output.String(); got != "123456 654321" {
+		t.Errorf("ldc alignment: %q", got)
+	}
+}
+
+func TestStatsTakenBranches(t *testing.T) {
+	src := `
+	.text
+_start:
+	mvi r4, 3
+	mv  r0, r4
+loop:
+	subi r4, r4, 1
+	mv   r0, r4
+	bnz  r0, loop
+	nop
+	trap 0
+	nop
+`
+	m := run(t, src, isa.D16())
+	if m.Stats.Branches != 3 || m.Stats.Taken != 2 {
+		t.Errorf("branches %d taken %d, want 3/2", m.Stats.Branches, m.Stats.Taken)
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Profile attributes executed instructions to the text symbols that
+// contain them — a flat function-level profiler for compiled programs.
+// Attach one to a Machine before running.
+type Profile struct {
+	names  []string
+	starts []uint32
+	counts []int64
+	total  int64
+}
+
+// NewProfile builds a profiler over an image's text symbols.
+func NewProfile(img *prog.Image) *Profile {
+	p := &Profile{}
+	type sym struct {
+		name string
+		addr uint32
+	}
+	var syms []sym
+	for name, addr := range img.Symbols {
+		if addr >= isa.TextBase && addr < img.TextEnd() && !strings.HasPrefix(name, ".L") {
+			syms = append(syms, sym{name, addr})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].addr < syms[j].addr })
+	for _, s := range syms {
+		p.names = append(p.names, s.name)
+		p.starts = append(p.starts, s.addr)
+	}
+	p.counts = make([]int64, len(p.names))
+	return p
+}
+
+// Exec implements Observer.
+func (p *Profile) Exec(pc uint32, _ isa.Instr) {
+	p.total++
+	// Binary search for the containing symbol.
+	i := sort.Search(len(p.starts), func(i int) bool { return p.starts[i] > pc }) - 1
+	if i >= 0 {
+		p.counts[i]++
+	}
+}
+
+// Load implements Observer.
+func (p *Profile) Load(addr uint32, size uint32) {}
+
+// Store implements Observer.
+func (p *Profile) Store(addr uint32, size uint32) {}
+
+// Entry is one profile row.
+type Entry struct {
+	Name    string
+	Instrs  int64
+	Percent float64
+}
+
+// Top returns the hottest n functions.
+func (p *Profile) Top(n int) []Entry {
+	var out []Entry
+	for i, c := range p.counts {
+		if c > 0 {
+			out = append(out, Entry{p.names[i], c, 100 * float64(c) / float64(p.total)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Instrs > out[j].Instrs })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// String renders the full profile.
+func (p *Profile) String() string {
+	var b strings.Builder
+	for _, e := range p.Top(0) {
+		fmt.Fprintf(&b, "%8.2f%% %12d  %s\n", e.Percent, e.Instrs, e.Name)
+	}
+	return b.String()
+}

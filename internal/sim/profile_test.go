@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func TestProfileAttribution(t *testing.T) {
+	src := `
+	.text
+	.global _start
+_start:
+	mvi r4, 50
+hot:
+	call work
+	nop
+	subi r4, r4, 1
+	mv   r0, r4
+	bnz  r0, hot
+	nop
+	trap 0
+	nop
+	.pool
+work:
+	mvi r5, 3
+inner:
+	subi r5, r5, 1
+	mv   r0, r5
+	bnz  r0, inner
+	nop
+	ret
+	nop
+`
+	img, err := asm.Assemble("p.s", src, isa.D16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProfile(img)
+	m.Attach(p)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	top := p.Top(2)
+	if len(top) < 2 {
+		t.Fatalf("profile rows: %v", top)
+	}
+	// work's inner loop dominates (3 iterations per call, 50 calls).
+	names := map[string]bool{}
+	for _, e := range top {
+		names[e.Name] = true
+	}
+	if !names["inner"] && !names["work"] {
+		t.Errorf("hot function missing from top-2: %v", top)
+	}
+	if !strings.Contains(p.String(), "%") {
+		t.Error("String output malformed")
+	}
+	// Percentages sum to <= 100.
+	sum := 0.0
+	for _, e := range p.Top(0) {
+		sum += e.Percent
+	}
+	if sum < 99 || sum > 101 {
+		t.Errorf("profile percentages sum to %.1f", sum)
+	}
+}

@@ -1,0 +1,425 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func run(t *testing.T, src string, spec *isa.Spec) *Machine {
+	t.Helper()
+	img, err := asm.Assemble("test.s", src, spec)
+	if err != nil {
+		t.Fatalf("assemble(%s): %v", spec, err)
+	}
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run(%s): %v", spec, err)
+	}
+	return m
+}
+
+func bothSpecs() []*isa.Spec { return []*isa.Spec{isa.D16(), isa.DLXe()} }
+
+// prep specializes shared test assembly for one target: CC is the compare
+// destination / branch condition register (architecturally r0 on D16; any
+// ordinary register on DLXe, where r0 is hardwired zero).
+func prep(src string, spec *isa.Spec) string {
+	cc := "r0"
+	if !spec.R0IsCC {
+		cc = "r15"
+	}
+	return strings.ReplaceAll(src, "CC", cc)
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+	.text
+	.global _start
+_start:
+	mvi  r4, 100
+	mvi  r5, 7
+	mv   r6, r4
+	sub  r6, r6, r5     ; 93
+	mv   r3, r6
+	shli r3, r3, 2      ; 372
+	addi r3, r3, 5      ; 377
+	trap 1
+	trap 0
+	nop
+`
+	for _, spec := range bothSpecs() {
+		m := run(t, src, spec)
+		if got := m.Output.String(); got != "377" {
+			t.Errorf("%s: output %q, want 377", spec, got)
+		}
+	}
+}
+
+func TestMemoryAndStrings(t *testing.T) {
+	src := `
+	.data
+greet: .asciiz "hello, "
+who:   .asciiz "world"
+	.align 4
+val:   .word 12345
+	.text
+	.global _start
+_start:
+	la   r3, greet
+	trap 3
+	la   r3, who
+	trap 3
+	mvi  r3, 10
+	trap 2
+	ld   r3, gprel(val)(gp)
+	trap 1
+	trap 0
+	nop
+	.pool
+`
+	for _, spec := range bothSpecs() {
+		m := run(t, src, spec)
+		if got := m.Output.String(); got != "hello, world\n12345" {
+			t.Errorf("%s: output %q", spec, got)
+		}
+	}
+}
+
+func TestCallAndRecursion(t *testing.T) {
+	// Iterative doubling via a recursive helper: f(n) = n<=1 ? 1 : f(n-1)*2
+	// computed with shifts; exercises call/ret, stack frames and the link
+	// register across both encodings.
+	src := `
+	.text
+	.global _start
+_start:
+	mvi  r3, 10
+	call f
+	nop
+	trap 1
+	trap 0
+	nop
+	.pool
+f:
+	; prologue: save lr on the stack
+	subi r2, r2, 8
+	st   r1, 0(r2)
+	mvi  r4, 1
+	cmp.le CC, r3, r4    ; n <= 1 ?
+	bnz  CC, base
+	nop
+	subi r3, r3, 1
+	call f
+	nop
+	shli r3, r3, 1       ; f(n-1)*2
+	br   done
+	nop
+base:
+	mvi  r3, 1
+done:
+	ld   r1, 0(r2)
+	addi r2, r2, 8
+	ret
+	nop
+	.pool
+`
+	for _, spec := range bothSpecs() {
+		m := run(t, prep(src, spec), spec)
+		if got := m.Output.String(); got != "512" {
+			t.Errorf("%s: f(10) printed %q, want 512", spec, got)
+		}
+	}
+}
+
+func TestDelaySlotSemantics(t *testing.T) {
+	// The instruction after a taken branch must execute.
+	src := `
+	.text
+	.global _start
+_start:
+	mvi  r3, 1
+	br   over
+	addi r3, r3, 10   ; delay slot: executes
+	addi r3, r3, 20   ; skipped
+over:
+	trap 1
+	trap 0
+	nop
+`
+	for _, spec := range bothSpecs() {
+		m := run(t, src, spec)
+		if got := m.Output.String(); got != "11" {
+			t.Errorf("%s: output %q, want 11 (delay slot must execute)", spec, got)
+		}
+	}
+}
+
+func TestJLReturnAddressSkipsSlot(t *testing.T) {
+	src := `
+	.text
+	.global _start
+_start:
+	call f
+	mvi  r5, 7      ; delay slot of the call
+	add  r3, r3, r5 ; return lands here
+	trap 1
+	trap 0
+	nop
+	.pool
+f:
+	mvi  r3, 30
+	ret
+	nop
+`
+	for _, spec := range bothSpecs() {
+		m := run(t, src, spec)
+		if got := m.Output.String(); got != "37" {
+			t.Errorf("%s: output %q, want 37", spec, got)
+		}
+	}
+}
+
+func TestSubwordMemory(t *testing.T) {
+	src := `
+	.data
+bytes: .byte 0xFF, 0x7F
+halfs: .half 0xFFFF, 0x7FFF
+	.text
+	.global _start
+_start:
+	la   r6, bytes
+	ldb  r3, (r6)      ; -1 sign extended
+	trap 1
+	mvi  r3, 32
+	trap 2             ; space
+	ldbu r3, (r6)      ; 255
+	trap 1
+	mvi  r3, 32
+	trap 2
+	la   r6, halfs
+	ldh  r3, (r6)      ; -1
+	trap 1
+	mvi  r3, 32
+	trap 2
+	ldhu r3, (r6)      ; 65535
+	trap 1
+	; store back: write 0x41 into bytes[0] and reread
+	mvi  r4, 65
+	la   r6, bytes
+	stb  r4, (r6)
+	mvi  r3, 32
+	trap 2
+	ldbu r3, (r6)
+	trap 1
+	trap 0
+	nop
+	.pool
+`
+	for _, spec := range bothSpecs() {
+		m := run(t, src, spec)
+		want := "-1 255 -1 65535 65"
+		if got := m.Output.String(); got != want {
+			t.Errorf("%s: output %q, want %q", spec, got, want)
+		}
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	// Compute (2.5 * 4.0 - 1.5) / 2.0 = 4.25 in double precision. Values
+	// enter the FP file through the GPR transfer path, as the paper's
+	// machines require.
+	src := `
+	.data
+c25: .word 0x00000000, 0x40040000   ; 2.5
+c40: .word 0x00000000, 0x40100000   ; 4.0
+c15: .word 0x00000000, 0x3FF80000   ; 1.5
+c20: .word 0x00000000, 0x40000000   ; 2.0
+	.text
+	.global _start
+_start:
+	la   r6, c25
+	ld   r4, 0(r6)
+	ld   r5, 4(r6)
+	mvfl f1, r4
+	mvfh f1, r5
+	la   r6, c40
+	ld   r4, 0(r6)
+	ld   r5, 4(r6)
+	mvfl f2, r4
+	mvfh f2, r5
+	mul.df f1, f1, f2     ; 10.0
+	la   r6, c15
+	ld   r4, 0(r6)
+	ld   r5, 4(r6)
+	mvfl f3, r4
+	mvfh f3, r5
+	sub.df f1, f1, f3     ; 8.5
+	la   r6, c20
+	ld   r4, 0(r6)
+	ld   r5, 4(r6)
+	mvfl f4, r4
+	mvfh f4, r5
+	div.df f1, f1, f4     ; 4.25
+	trap 4
+	; compare: 4.25 < 2.0 must be false; 2.0 < 4.25 true
+	cmp.df.lt f1, f4
+	rdsr r3
+	trap 1
+	cmp.df.lt f4, f1
+	rdsr r3
+	trap 1
+	; int conversion round trip
+	df2si r3, f1
+	trap 1
+	trap 0
+	nop
+	.pool
+`
+	for _, spec := range bothSpecs() {
+		m := run(t, src, spec)
+		if got := m.Output.String(); got != "4.25014" {
+			t.Errorf("%s: output %q, want 4.25014", spec, got)
+		}
+	}
+}
+
+func TestInterlockCounting(t *testing.T) {
+	// A load immediately followed by a use stalls one cycle; separating
+	// them with an independent instruction removes the stall.
+	back2back := `
+	.text
+_start:
+	mvi r4, 0
+	ld  r5, gprel(w)(gp)
+	add r6, r6, r5
+	trap 0
+	nop
+	.data
+w: .word 9
+`
+	spaced := `
+	.text
+_start:
+	mvi r4, 0
+	ld  r5, gprel(w)(gp)
+	mvi r7, 1
+	add r6, r6, r5
+	trap 0
+	nop
+	.data
+w: .word 9
+`
+	for _, spec := range bothSpecs() {
+		m1 := run(t, back2back, spec)
+		if m1.Stats.Interlocks != 1 {
+			t.Errorf("%s: back-to-back load-use interlocks = %d, want 1", spec, m1.Stats.Interlocks)
+		}
+		m2 := run(t, spaced, spec)
+		if m2.Stats.Interlocks != 0 {
+			t.Errorf("%s: spaced load-use interlocks = %d, want 0", spec, m2.Stats.Interlocks)
+		}
+	}
+}
+
+func TestFPUInterlocks(t *testing.T) {
+	src := `
+	.text
+_start:
+	mvi  r4, 3
+	si2df f1, r4
+	si2df f2, r4
+	mul.df f1, f1, f2
+	df2si r3, f1      ; consumes the multiply immediately
+	trap 1
+	trap 0
+	nop
+`
+	for _, spec := range bothSpecs() {
+		m := run(t, src, spec)
+		if m.Output.String() != "9" {
+			t.Errorf("%s: output %q, want 9", spec, m.Output.String())
+		}
+		// si2df f2 stalls on nothing; mul stalls until f2 ready
+		// (convert latency 2 -> 1 stall), df2si stalls until the multiply
+		// completes (latency 5 -> 4 stalls).
+		if m.Stats.Interlocks != 5 {
+			t.Errorf("%s: FPU interlocks = %d, want 5", spec, m.Stats.Interlocks)
+		}
+	}
+}
+
+func TestFetchWordCounting(t *testing.T) {
+	// Eight sequential 16-bit instructions occupy 4 words on D16 and 8 on
+	// DLXe. (The nop after the halting trap never executes.)
+	src := ".text\n_start:\n" + strings.Repeat(" mvi r4, 1\n", 7) + " trap 0\n nop\n"
+	d := run(t, src, isa.D16())
+	x := run(t, src, isa.DLXe())
+	if d.Stats.Instrs != 8 || x.Stats.Instrs != 8 {
+		t.Fatalf("path lengths %d/%d, want 8", d.Stats.Instrs, x.Stats.Instrs)
+	}
+	if d.Stats.FetchWords != 4 {
+		t.Errorf("D16 fetch words = %d, want 4", d.Stats.FetchWords)
+	}
+	if x.Stats.FetchWords != 8 {
+		t.Errorf("DLXe fetch words = %d, want 8", x.Stats.FetchWords)
+	}
+}
+
+func TestRunawayProgramFaults(t *testing.T) {
+	src := ".text\n_start: br _start\n nop\n"
+	img, err := asm.Assemble("t.s", src, isa.D16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1000); err == nil {
+		t.Fatal("expected instruction-budget fault")
+	}
+}
+
+func TestBadMemoryFaults(t *testing.T) {
+	src := ".text\n_start:\n la r4, 0x7FFFFFF0\n ld r5, 0(r4)\n trap 0\n nop\n .pool\n"
+	for _, spec := range bothSpecs() {
+		img, err := asm.Assemble("t.s", src, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(1000); err == nil {
+			t.Errorf("%s: expected memory fault", spec)
+		}
+	}
+}
+
+func TestDLXeR0IsZero(t *testing.T) {
+	src := `
+	.text
+_start:
+	mvi r0, 55     ; write to r0 is discarded on DLXe
+	mv  r3, r0
+	trap 1
+	trap 0
+	nop
+`
+	m := run(t, src, isa.DLXe())
+	if got := m.Output.String(); got != "0" {
+		t.Errorf("DLXe r0 = %q, want 0", got)
+	}
+	// On D16, r0 is an ordinary (condition) register.
+	m = run(t, src, isa.D16())
+	if got := m.Output.String(); got != "55" {
+		t.Errorf("D16 r0 = %q, want 55", got)
+	}
+}
