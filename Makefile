@@ -1,0 +1,21 @@
+# Tier-1 gate: everything a PR must keep green (see ROADMAP.md).
+.PHONY: check build test vet smoke clean
+
+check: vet build test smoke
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+# End-to-end smoke: one experiment with structured output attached.
+smoke:
+	go run ./cmd/repro -run fig4 -json /tmp/repro-smoke >/dev/null
+	@test -s /tmp/repro-smoke/fig4.json && echo "smoke ok: /tmp/repro-smoke/fig4.json"
+
+clean:
+	rm -rf /tmp/repro-smoke

@@ -4,17 +4,33 @@
 // Usage:
 //
 //	mcrun [-target d16|dlxe] [-regs N] [-2addr] [-bench name] [-dumpasm] [file.mc]
+//
+// Observability flags (see docs/OBSERVABILITY.md):
+//
+//	-profile     print a function-level instruction profile and the
+//	             dynamic caller→callee edge counts
+//	-folded      print folded call stacks (one sample per executed
+//	             instruction) to stdout for flamegraph tooling; program
+//	             output moves to stderr so the stream stays parseable
+//	-itrace N    keep a ring buffer of the last N executed instructions,
+//	             dumped with symbol annotations if the run faults
+//	-fulltrace   stream every executed instruction to stderr
+//	-v           print a one-line compile/assemble/link/run stage-timing
+//	             summary, so compiler slowdowns are visible without a
+//	             trace viewer
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/isa"
 	"repro/internal/mcc"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -23,7 +39,11 @@ func main() {
 	twoAddr := flag.Bool("2addr", false, "restrict to two-address operations")
 	benchName := flag.String("bench", "", "run a built-in benchmark instead of a file")
 	dumpAsm := flag.Bool("dumpasm", false, "print generated assembly")
-	profile := flag.Bool("profile", false, "print a function-level instruction profile")
+	profile := flag.Bool("profile", false, "print a function-level instruction profile and call-graph edges")
+	folded := flag.Bool("folded", false, "print folded call stacks to stdout (program output goes to stderr)")
+	itrace := flag.Int("itrace", 0, "ring-buffer the last N executed instructions, dumped on fault")
+	fullTrace := flag.Bool("fulltrace", false, "stream every executed instruction to stderr")
+	verbose := flag.Bool("v", false, "print pipeline stage timings (compile/assemble/link/run)")
 	maxInstrs := flag.Int64("max", 2_000_000_000, "instruction budget")
 	flag.Parse()
 
@@ -68,6 +88,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Stage timings come from the same spans the Chrome trace exporter
+	// uses; a tracer is only installed when someone will read it.
+	var tracer *telemetry.Tracer
+	if *verbose {
+		tracer = telemetry.NewTracer()
+		telemetry.SetGlobalTracer(tracer)
+	}
+
 	c, err := mcc.Compile(name, src, spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -82,23 +110,61 @@ func main() {
 		os.Exit(1)
 	}
 	var prof *sim.Profile
-	if *profile {
+	if *profile || *folded {
 		prof = sim.NewProfile(c.Image)
 		m.Attach(prof)
 	}
-	runErr := m.Run(*maxInstrs)
-	if prof != nil {
-		fmt.Fprintf(os.Stderr, "--- profile ---\n%s", prof.String())
+	if *itrace > 0 {
+		m.EnableITrace(*itrace)
 	}
-	fmt.Print(m.Output.String())
+	if *fullTrace {
+		m.TraceW = os.Stderr
+	}
+
+	rspan := telemetry.StartSpan("run", telemetry.String("file", name))
+	start := time.Now()
+	runErr := m.Run(*maxInstrs)
+	runDur := time.Since(start)
+	rspan.End()
+
+	if prof != nil && *profile {
+		fmt.Fprintf(os.Stderr, "--- profile ---\n%s", prof.String())
+		if edges := prof.Edges(); len(edges) > 0 {
+			fmt.Fprintf(os.Stderr, "--- call edges ---\n")
+			for _, e := range edges {
+				fmt.Fprintf(os.Stderr, "%12d  %s -> %s\n", e.Count, e.Caller, e.Callee)
+			}
+		}
+	}
+	if *folded {
+		// Folded stacks own stdout so they pipe straight into
+		// flamegraph.pl; the program's own output moves to stderr.
+		fmt.Print(prof.Folded())
+		fmt.Fprint(os.Stderr, m.Output.String())
+	} else {
+		fmt.Print(m.Output.String())
+	}
 	fmt.Fprintf(os.Stderr, "--- %s on %s ---\n", name, spec)
 	fmt.Fprintf(os.Stderr, "size=%d bytes (text %d, pools %d, data %d)\n",
 		c.Image.Size(), len(c.Image.Text), c.Image.PoolBytes, len(c.Image.Data))
 	fmt.Fprintf(os.Stderr, "instrs=%d interlocks=%d loads=%d (pool %d) stores=%d fetchwords=%d spills=%d\n",
 		m.Stats.Instrs, m.Stats.Interlocks, m.Stats.Loads, m.Stats.PoolLoads,
 		m.Stats.Stores, m.Stats.FetchWords, c.Spills)
+	if *verbose {
+		d := tracer.DurationsByName()
+		fmt.Fprintf(os.Stderr, "stages: compile=%s assemble=%s link=%s run=%s (%.1f Minstr/s)\n",
+			d["compile"].Round(time.Microsecond), d["assemble"].Round(time.Microsecond),
+			d["link"].Round(time.Microsecond), d["run"].Round(time.Microsecond),
+			float64(m.Stats.Instrs)/1e6/runDur.Seconds())
+	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "FAULT: %v (near %s)\n", runErr, c.Image.SymbolAt(m.PC))
+		if tr := m.ITrace(); len(tr) > 0 {
+			fmt.Fprintf(os.Stderr, "--- last %d instructions ---\n", len(tr))
+			for _, e := range tr {
+				fmt.Fprintf(os.Stderr, "%s\t; in %s\n", e, c.Image.SymbolAt(e.PC))
+			}
+		}
 		os.Exit(1)
 	}
 }

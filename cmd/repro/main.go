@@ -2,25 +2,38 @@
 //
 // Usage:
 //
-//	repro -list            # enumerate experiments
-//	repro -run fig4,tab5   # run selected experiments
-//	repro -run all         # run everything (the full evaluation)
+//	repro -list                     # enumerate experiments
+//	repro -run fig4,tab5            # run selected experiments
+//	repro -run all                  # run everything (the full evaluation)
+//	repro -run all -json out/       # also write machine-readable results:
+//	                                #   out/<id>.json    per-experiment tables
+//	                                #   out/summary.json per-bench×config scalars
+//	                                #   out/metrics.json compiler + model counters
+//	repro -trace out/trace.json     # write a Chrome trace_event file of the
+//	                                # compile/assemble/link/run pipeline spans
+//	                                # (open in chrome://tracing or Perfetto)
+//
+// See docs/OBSERVABILITY.md for the file formats.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiments")
 	run := flag.String("run", "all", "comma-separated experiment IDs, or \"all\"")
+	jsonDir := flag.String("json", "", "directory for machine-readable results (per-experiment JSON, summary.json, metrics.json)")
+	traceFile := flag.String("trace", "", "write pipeline spans as Chrome trace-event JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -44,16 +57,92 @@ func main() {
 		}
 	}
 
+	if *traceFile != "" {
+		telemetry.SetGlobalTracer(telemetry.NewTracer())
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	ctx := &experiments.Ctx{Lab: core.NewLab(), W: os.Stdout}
 	for _, e := range todo {
 		start := time.Now()
+		if *jsonDir != "" {
+			ctx.Rec = telemetry.NewExperimentResult(e.ID, e.Title)
+		}
 		fmt.Printf("==============================================================\n")
 		fmt.Printf("%s — %s\n", e.ID, e.Title)
 		fmt.Printf("==============================================================\n")
-		if err := e.Run(ctx); err != nil {
+		span := telemetry.StartSpan("experiment", telemetry.String("id", e.ID))
+		err := e.Run(ctx)
+		span.End()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		if ctx.Rec != nil {
+			ctx.Rec.ElapsedSec = elapsed.Seconds()
+			path := filepath.Join(*jsonDir, e.ID+".json")
+			if err := telemetry.WriteJSONFile(path, ctx.Rec); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			ctx.Rec = nil
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, elapsed.Seconds())
 	}
+
+	if *jsonDir != "" {
+		if err := writeSummary(ctx.Lab, *jsonDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSummary exports every memoized measurement's scalars
+// (summary.json) and a metrics snapshot combining the process-wide
+// registry (compiler counters, per-pass timings) with the measurements'
+// registered model counters (metrics.json).
+func writeSummary(lab *core.Lab, dir string) error {
+	rows := lab.Summary()
+	err := telemetry.WriteJSONFile(filepath.Join(dir, "summary.json"), struct {
+		Rows []core.SummaryRow `json:"rows"`
+	}{rows})
+	if err != nil {
+		return err
+	}
+
+	reg := telemetry.NewRegistry()
+	for _, m := range lab.Measurements() {
+		m.RegisterMetrics(reg, m.Bench+"."+m.Spec.Name+".")
+	}
+	snaps := append(telemetry.Default().Snapshot(), reg.Snapshot()...)
+	return telemetry.WriteJSONFile(filepath.Join(dir, "metrics.json"), struct {
+		Metrics []telemetry.Snapshot `json:"metrics"`
+	}{snaps})
+}
+
+func writeTrace(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return telemetry.GlobalTracer().WriteChromeTrace(f)
 }

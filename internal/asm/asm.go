@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/prog"
+	"repro/internal/telemetry"
 )
 
 type section uint8
@@ -102,12 +103,16 @@ type Assembler struct {
 // concatenates the runtime library and all compiled code into one source).
 func Assemble(file, src string, spec *isa.Spec) (*prog.Image, error) {
 	a := &Assembler{spec: spec, globals: map[string]bool{}, file: file}
+	span := telemetry.StartSpan("assemble", telemetry.String("file", file))
 	for i, line := range strings.Split(src, "\n") {
 		a.parseLine(i+1, line)
 	}
+	span.End()
 	if len(a.errs) > 0 {
 		return nil, a.joined()
 	}
+	lspan := telemetry.StartSpan("link", telemetry.String("file", file))
+	defer lspan.End()
 	return a.link()
 }
 

@@ -7,7 +7,11 @@
 // sub-block mode.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // Config describes one cache.
 type Config struct {
@@ -87,6 +91,27 @@ func (s *Stats) WriteMissRate() float64 {
 		return 0
 	}
 	return float64(s.WriteMisses) / float64(s.Writes)
+}
+
+// Register publishes the hit/miss/traffic counters as live gauges under
+// prefix; the simulation fields stay the single source of truth and the
+// probe hot path is untouched.
+func (s *Stats) Register(reg *telemetry.Registry, prefix string) {
+	for _, f := range []struct {
+		name string
+		v    *int64
+	}{
+		{"reads", &s.Reads},
+		{"writes", &s.Writes},
+		{"read_misses", &s.ReadMisses},
+		{"write_misses", &s.WriteMisses},
+		{"mem_read_words", &s.MemReadWords},
+		{"mem_write_words", &s.MemWriteWords},
+	} {
+		v := f.v
+		reg.RegisterFunc(prefix+f.name, func() int64 { return *v })
+	}
+	reg.RegisterFunc(prefix+"misses", s.Misses)
 }
 
 type line struct {

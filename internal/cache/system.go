@@ -1,6 +1,9 @@
 package cache
 
-import "repro/internal/isa"
+import (
+	"repro/internal/isa"
+	"repro/internal/telemetry"
+)
 
 // System is a split instruction/data cache pair attached to a simulated
 // machine as an observer (Section 4.1's configuration: separate on-chip
@@ -62,6 +65,13 @@ func (s *System) Store(addr uint32, _ uint32) { s.D.Write(addr) }
 
 // Misses returns total misses over both caches.
 func (s *System) Misses() int64 { return s.I.Stats.Misses() + s.D.Stats.Misses() }
+
+// Register publishes both caches' counters under prefix ("<p>icache.*"
+// and "<p>dcache.*").
+func (s *System) Register(reg *telemetry.Registry, prefix string) {
+	s.I.Stats.Register(reg, prefix+"icache.")
+	s.D.Stats.Register(reg, prefix+"dcache.")
+}
 
 // Cycles evaluates the paper's Appendix A.3 formula
 //

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/bench"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/prog"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Measurement is the full result of compiling and running one benchmark
@@ -183,6 +185,9 @@ func (l *Lab) Measure(b *bench.Benchmark, spec *isa.Spec) (*Measurement, error) 
 }
 
 func (l *Lab) measureLocked(b *bench.Benchmark, spec *isa.Spec) (*Measurement, error) {
+	span := telemetry.StartSpan("measure",
+		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
+	defer span.End()
 	c, err := l.compileLocked(b, spec)
 	if err != nil {
 		return nil, err
@@ -207,7 +212,11 @@ func (l *Lab) measureLocked(b *bench.Benchmark, spec *isa.Spec) (*Measurement, e
 	machine.Attach(m.Bus32)
 	machine.Attach(m.Bus64)
 	machine.Attach(&m.Imm)
-	if err := machine.Run(b.MaxInstrs); err != nil {
+	rspan := telemetry.StartSpan("run",
+		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
+	err = machine.Run(b.MaxInstrs)
+	rspan.End()
+	if err != nil {
 		return nil, fmt.Errorf("core: %s on %s: %w", b.Name, spec, err)
 	}
 	m.Output = machine.Output.String()
@@ -232,6 +241,10 @@ func (l *Lab) CacheSweep(b *bench.Benchmark, spec *isa.Spec, cfgs []cache.Config
 	if s, ok := l.sweep[k]; ok {
 		return s, nil
 	}
+	span := telemetry.StartSpan("cache-sweep",
+		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name),
+		telemetry.String("geometries", fmt.Sprintf("%d", len(cfgs))))
+	defer span.End()
 	c, err := l.compileLocked(b, spec)
 	if err != nil {
 		return nil, err
@@ -249,7 +262,11 @@ func (l *Lab) CacheSweep(b *bench.Benchmark, spec *isa.Spec, cfgs []cache.Config
 		systems = append(systems, sys)
 		machine.Attach(sys)
 	}
-	if err := machine.Run(b.MaxInstrs); err != nil {
+	rspan := telemetry.StartSpan("run",
+		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
+	err = machine.Run(b.MaxInstrs)
+	rspan.End()
+	if err != nil {
 		return nil, fmt.Errorf("core: cache sweep %s on %s: %w", b.Name, spec, err)
 	}
 	l.sweep[k] = systems
@@ -269,6 +286,9 @@ func (l *Lab) PipelineRun(b *bench.Benchmark, spec *isa.Spec, cfgs []pipeline.Co
 	if e, ok := l.pipes[k]; ok {
 		return e, nil
 	}
+	span := telemetry.StartSpan("pipeline-run",
+		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
+	defer span.End()
 	c, err := l.compileLocked(b, spec)
 	if err != nil {
 		return nil, err
@@ -283,11 +303,108 @@ func (l *Lab) PipelineRun(b *bench.Benchmark, spec *isa.Spec, cfgs []pipeline.Co
 		engines = append(engines, e)
 		machine.Attach(e)
 	}
-	if err := machine.Run(b.MaxInstrs); err != nil {
+	rspan := telemetry.StartSpan("run",
+		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
+	err = machine.Run(b.MaxInstrs)
+	rspan.End()
+	if err != nil {
 		return nil, fmt.Errorf("core: pipeline run %s on %s: %w", b.Name, spec, err)
 	}
 	l.pipes[k] = engines
 	return engines, nil
+}
+
+// Measurements returns every memoized measurement, sorted by benchmark
+// then configuration (the export order of the suite summary).
+func (l *Lab) Measurements() []*Measurement {
+	l.mu.Lock()
+	out := make([]*Measurement, 0, len(l.runs))
+	for _, m := range l.runs {
+		out = append(out, m)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Spec.Name < out[j].Spec.Name
+	})
+	return out
+}
+
+// SummaryRow is the machine-readable scalar summary of one measurement:
+// the static and dynamic measures every experiment derives from, plus
+// cacheless CPI at wait states 0–3 for both fetch-bus widths. One row
+// per bench×config lands in repro's summary.json so the performance
+// trajectory can be diffed across changes.
+type SummaryRow struct {
+	Bench        string `json:"bench"`
+	Config       string `json:"config"`
+	SizeBytes    int    `json:"size_bytes"`
+	TextBytes    int    `json:"text_bytes"`
+	PoolBytes    int    `json:"pool_bytes"`
+	DataBytes    int    `json:"data_bytes"`
+	StaticInstrs int    `json:"static_instrs"`
+	Spills       int    `json:"spills"`
+	Instrs       int64  `json:"instrs"`
+	Interlocks   int64  `json:"interlocks"`
+	Loads        int64  `json:"loads"`
+	PoolLoads    int64  `json:"pool_loads"`
+	Stores       int64  `json:"stores"`
+	FetchWords   int64  `json:"fetch_words"`
+	// CPIBus32/CPIBus64 index by wait states ℓ = 0..3.
+	CPIBus32 []float64 `json:"cpi_bus32"`
+	CPIBus64 []float64 `json:"cpi_bus64"`
+}
+
+// Summary converts one measurement to its exported scalar row.
+func (m *Measurement) Summary() SummaryRow {
+	row := SummaryRow{
+		Bench:        m.Bench,
+		Config:       m.Spec.Name,
+		SizeBytes:    m.Size,
+		TextBytes:    m.TextBytes,
+		PoolBytes:    m.PoolBytes,
+		DataBytes:    m.DataBytes,
+		StaticInstrs: m.StaticInstrs,
+		Spills:       m.Spills,
+		Instrs:       m.Stats.Instrs,
+		Interlocks:   m.Stats.Interlocks,
+		Loads:        m.Stats.Loads,
+		PoolLoads:    m.Stats.PoolLoads,
+		Stores:       m.Stats.Stores,
+		FetchWords:   m.Stats.FetchWords,
+	}
+	for l := int64(0); l <= 3; l++ {
+		row.CPIBus32 = append(row.CPIBus32, m.CPI(4, l))
+		row.CPIBus64 = append(row.CPIBus64, m.CPI(8, l))
+	}
+	return row
+}
+
+// Summary returns scalar rows for every memoized measurement.
+func (l *Lab) Summary() []SummaryRow {
+	ms := l.Measurements()
+	rows := make([]SummaryRow, 0, len(ms))
+	for _, m := range ms {
+		rows = append(rows, m.Summary())
+	}
+	return rows
+}
+
+// RegisterMetrics publishes the measurement's scalars and its attached
+// memory-interface models as live gauges under prefix (typically
+// "<bench>.<config>.").
+func (m *Measurement) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	stats := &m.Stats
+	reg.RegisterFunc(prefix+"size_bytes", func() int64 { return int64(m.Size) })
+	reg.RegisterFunc(prefix+"static_instrs", func() int64 { return int64(m.StaticInstrs) })
+	reg.RegisterFunc(prefix+"spills", func() int64 { return int64(m.Spills) })
+	reg.RegisterFunc(prefix+"instrs", func() int64 { return stats.Instrs })
+	reg.RegisterFunc(prefix+"interlocks", func() int64 { return stats.Interlocks })
+	reg.RegisterFunc(prefix+"data_ops", stats.DataOps)
+	m.Bus32.Register(reg, prefix+"bus32.")
+	m.Bus64.Register(reg, prefix+"bus64.")
 }
 
 // Suite returns the benchmark suite (re-exported for callers that only

@@ -37,7 +37,7 @@ func ablatePools(c *Ctx) error {
 		t.row(b.Name, i64(int64(m.PoolBytes)), pct(fb), i64(m.Stats.PoolLoads), pct(fl))
 	}
 	t.row("AVERAGE", "", pct(mean(sb)), "", pct(mean(sl)))
-	t.render(c.W)
+	c.render(t)
 	return nil
 }
 
@@ -60,7 +60,7 @@ func ablateCmp8(c *Ctx) error {
 		t.row(b.Name, pct(a), pct(f))
 	}
 	t.row("AVERAGE", pct(mean(all)), pct(mean(fit)))
-	t.render(c.W)
+	c.render(t)
 	c.printf("\nThe paper predicts the new instruction \"could improve D16 performance by\n")
 	c.printf("up to 2 percent\"; the fits-8-bits column is that bound for this suite.\n")
 	return nil
@@ -88,7 +88,7 @@ func ablateD16Plus(c *Ctx) error {
 		t.row(b.Name, f3(pr), f3(sr), pct(1-pr))
 	}
 	t.row("AVERAGE", f3(mean(prs)), f3(mean(srs)), pct(1-mean(prs)))
-	t.render(c.W)
+	c.render(t)
 	c.printf("\nOutputs agree with the base suite (verified per run); the paper\n")
 	c.printf("predicted up to 2%% — the narrower move-immediate claws some back.\n")
 	return nil
@@ -121,7 +121,7 @@ func ablateCache(c *Ctx) error {
 			t.row(n, f3(d16[i].I.Stats.MissRate()), f3(dlxe[i].I.Stats.MissRate()),
 				i64(d16[i].D.Stats.MemWriteWords), i64(dlxe[i].D.Stats.MemWriteWords))
 		}
-		t.render(c.W)
+		c.render(t)
 		c.printf("\n")
 	}
 	return nil
@@ -156,6 +156,6 @@ func ablateNops(c *Ctx) error {
 		avg = append(avg, pct(s/float64(len(bench.All()))))
 	}
 	t.row(avg...)
-	t.render(c.W)
+	c.render(t)
 	return nil
 }

@@ -75,7 +75,7 @@ func figMissRates(c *Ctx) error {
 			t.row(fmt.Sprintf("%dK", s>>10),
 				f3(d16[i].I.Stats.MissRate()), f3(dlxe[i].I.Stats.MissRate()))
 		}
-		t.render(c.W)
+		c.render(t)
 		c.printf("\n")
 	}
 	return nil
@@ -108,7 +108,7 @@ func figCPIvsPenalty(c *Ctx, size uint32) error {
 				float64(mx.Stats.Instrs)
 			t.row(i64(p), f2(cpiX), f2(cpiD), f2(norm))
 		}
-		t.render(c.W)
+		c.render(t)
 		c.printf("\n")
 	}
 	return nil
@@ -130,7 +130,7 @@ func figCacheTraffic(c *Ctx) error {
 			wx := dlxe[i].IWordsPerCycle(mx.Stats.Instrs, mx.Stats.Interlocks, 4)
 			t.row(fmt.Sprintf("%dK", s>>10), f3(wd), f3(wx))
 		}
-		t.render(c.W)
+		c.render(t)
 		c.printf("\n")
 	}
 	return nil
@@ -153,7 +153,7 @@ func tabCacheBench(c *Ctx) error {
 				i64(m.Stats.FetchWords), i64(m.Stats.Loads), i64(m.Stats.Stores))
 		}
 	}
-	t.render(c.W)
+	c.render(t)
 	return nil
 }
 
@@ -190,6 +190,6 @@ func tabMissRates(c *Ctx, name string) error {
 			i++
 		}
 	}
-	t.render(c.W)
+	c.render(t)
 	return nil
 }

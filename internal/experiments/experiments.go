@@ -14,16 +14,38 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/telemetry"
 )
 
-// Ctx carries the shared measurement lab and output sink.
+// Ctx carries the shared measurement lab and output sink. When Rec is
+// set, every rendered table is also recorded there verbatim — cell for
+// cell the same strings as the text output — which is what repro's -json
+// mode exports.
 type Ctx struct {
 	Lab *core.Lab
 	W   io.Writer
+	Rec *telemetry.ExperimentResult
+
+	// caption buffers narrative printf text since the last table; it
+	// becomes the next recorded table's caption.
+	caption strings.Builder
 }
 
 func (c *Ctx) printf(format string, args ...any) {
 	fmt.Fprintf(c.W, format, args...)
+	if c.Rec != nil {
+		fmt.Fprintf(&c.caption, format, args...)
+	}
+}
+
+// render writes the table to the text sink and records it (with the
+// accumulated caption) when structured output is requested.
+func (c *Ctx) render(t *table) {
+	t.render(c.W)
+	if c.Rec != nil {
+		c.Rec.AddTable(strings.TrimSpace(c.caption.String()), t.header, t.rows)
+		c.caption.Reset()
+	}
 }
 
 // Experiment is one reproducible table or figure.

@@ -64,7 +64,7 @@ func ablateModel(c *Ctx) error {
 			avg = append(avg, f2(s/float64(len(bench.All()))))
 		}
 		t.row(avg...)
-		t.render(c.W)
+		c.render(t)
 		c.printf("\n")
 	}
 	return nil

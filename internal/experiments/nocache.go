@@ -52,7 +52,7 @@ func figNoCacheCPI(c *Ctx) error {
 			}
 			t.row(i64(l), f2(mean(cx)), f2(mean(cd)), f2(mean(cn)))
 		}
-		t.render(c.W)
+		c.render(t)
 	}
 	return nil
 }
@@ -83,7 +83,7 @@ func figSaturation(c *Ctx) error {
 			}
 			t.row(i64(l), f3(mean(fx)), f3(mean(fd)))
 		}
-		t.render(c.W)
+		c.render(t)
 	}
 	return nil
 }
@@ -117,7 +117,7 @@ func tabCycleRatios(c *Ctx, busBytes uint32) error {
 		avg = append(avg, f2(s/float64(len(bench.All()))))
 	}
 	t.row(avg...)
-	t.render(c.W)
+	c.render(t)
 	return nil
 }
 

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// TestFig4JSONRoundTrip runs fig4 with a recorder attached and checks the
+// structured result (a) mirrors the rendered text cell-for-cell and (b)
+// survives an encoding/json round trip unchanged — the guarantee repro's
+// -json mode relies on.
+func TestFig4JSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	var out strings.Builder
+	ctx := &Ctx{
+		Lab: core.NewLab(),
+		W:   &out,
+		Rec: telemetry.NewExperimentResult("fig4", "test"),
+	}
+	if err := ByID("fig4").Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec := ctx.Rec
+	if len(rec.Tables) == 0 {
+		t.Fatal("no tables recorded")
+	}
+	text := out.String()
+	for ti, tab := range rec.Tables {
+		if len(tab.Header) == 0 || len(tab.Rows) == 0 {
+			t.Fatalf("table %d empty: %+v", ti, tab)
+		}
+		// Every recorded cell appears verbatim in the text rendering.
+		for _, row := range tab.Rows {
+			for _, cell := range row {
+				if cell != "" && !strings.Contains(text, cell) {
+					t.Errorf("table %d cell %q not in text output", ti, cell)
+				}
+			}
+		}
+	}
+
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back telemetry.ExperimentResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*rec, back) {
+		t.Errorf("round trip changed the result:\n got %+v\nwant %+v", back, *rec)
+	}
+}

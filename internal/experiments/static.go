@@ -58,7 +58,7 @@ func (c *Ctx) ratioTable(specs []*isa.Spec,
 		avgRow = append(avgRow, f2(mean(avgs[i])))
 	}
 	t.row(avgRow...)
-	t.render(c.W)
+	c.render(t)
 	return nil
 }
 
@@ -86,7 +86,7 @@ func figDensityRatio(c *Ctx) error {
 		t.row(b.Name, f2(r1), f2(r2))
 	}
 	t.row("AVERAGE", f2(mean(rb)), f2(mean(rt)))
-	t.render(c.W)
+	c.render(t)
 	return nil
 }
 
@@ -136,7 +136,7 @@ func figImmediates(c *Ctx) error {
 		t.row(b.Name, f2(r))
 	}
 	t.row("AVERAGE", f2(mean(rs)))
-	t.render(c.W)
+	c.render(t)
 	return nil
 }
 
@@ -181,7 +181,7 @@ func tabSummary(c *Ctx) error {
 			t.row(metric.name, regs.label, f2(mean(r2)), f2(mean(r3)))
 		}
 	}
-	t.render(c.W)
+	c.render(t)
 	return nil
 }
 
@@ -219,6 +219,6 @@ func (c *Ctx) absoluteTable(cell func(*core.Measurement) string, what string) er
 		}
 		t.row(row...)
 	}
-	t.render(c.W)
+	c.render(t)
 	return nil
 }

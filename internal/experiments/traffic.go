@@ -41,7 +41,7 @@ func tabDataTraffic(c *Ctx) error {
 		t.row(b.Name, pct(p1), pct(p2))
 	}
 	t.row("AVERAGE", pct(mean(a1)), pct(mean(a2)))
-	t.render(c.W)
+	c.render(t)
 	return nil
 }
 
@@ -69,7 +69,7 @@ func tabImmFreq(c *Ctx) error {
 	t.row("AVERAGE", pct(mean(cmpR)), pct(mean(aluR)), pct(mean(memR)),
 		pct(mean(mviR)), pct(mean(callR)),
 		pct(mean(cmpR)+mean(aluR)+mean(memR)+mean(mviR)+mean(callR)))
-	t.render(c.W)
+	c.render(t)
 	return nil
 }
 
@@ -94,7 +94,7 @@ func figTrafficVsSize(c *Ctx) error {
 		t.row(b.Name, f2(r1), f2(r2))
 	}
 	t.row("AVERAGE", f2(mean(tr)), f2(mean(sr)))
-	t.render(c.W)
+	c.render(t)
 	return nil
 }
 
@@ -120,7 +120,7 @@ func tabPathTraffic(c *Ctx) error {
 			i64(wd), i64(wx), pct(red))
 	}
 	t.row("AVERAGE", "", "", "", "", pct(mean(reds)))
-	t.render(c.W)
+	c.render(t)
 	return nil
 }
 
@@ -144,7 +144,7 @@ func tabLoadsStores(c *Ctx) error {
 		t.row(b.Name, i64(md), i64(mx), pct(inc))
 	}
 	t.row("AVERAGE", "", "", pct(mean(incs)))
-	t.render(c.W)
+	c.render(t)
 	return nil
 }
 
@@ -172,6 +172,6 @@ func tabInterlocks(c *Ctx) error {
 			i64(x.Instrs), i64(x.Interlocks), f3(r2))
 	}
 	t.row("MEAN", "", "", f3(mean(rd)), "", "", f3(mean(rx)))
-	t.render(c.W)
+	c.render(t)
 	return nil
 }

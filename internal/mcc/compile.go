@@ -3,10 +3,12 @@ package mcc
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/isa"
 	"repro/internal/prog"
+	"repro/internal/telemetry"
 )
 
 // Compiled is the result of compiling an MC program for one target
@@ -25,15 +27,39 @@ type Compiled struct {
 // Compile parses, optimizes and compiles src for the given target
 // configuration and assembles the result into a linked image.
 func Compile(file, src string, spec *isa.Spec) (*Compiled, error) {
+	span := telemetry.StartSpan("compile",
+		telemetry.String("file", file), telemetry.String("config", spec.Name))
 	source, spills, err := GenAsm(file, src, spec)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
+	reg := telemetry.Default()
+	reg.Counter("mcc.compiles").Inc()
+	reg.Counter("mcc.spills").Add(int64(spills))
 	img, err := asm.Assemble(file+".s", source, spec)
 	if err != nil {
 		return nil, fmt.Errorf("mcc: internal assembly error: %w\n--- generated source ---\n%s", err, numberLines(source))
 	}
 	return &Compiled{Spec: spec, Asm: source, Image: img, Spills: spills}, nil
+}
+
+// timedPass runs one compiler pass, feeding its wall-clock time into the
+// per-pass duration histogram "mcc.pass.<name>.ns".
+func timedPass(name string, f func()) {
+	start := time.Now()
+	f()
+	telemetry.Default().Histogram("mcc.pass." + name + ".ns").Observe(time.Since(start).Nanoseconds())
+}
+
+// instrCount is the optimizer's shrinkage measure: IR instructions
+// across all blocks.
+func instrCount(f *IRFunc) int64 {
+	var n int64
+	for _, b := range f.Blocks {
+		n += int64(len(b.Ins))
+	}
+	return n
 }
 
 func numberLines(s string) string {
@@ -47,7 +73,9 @@ func numberLines(s string) string {
 
 // GenAsm runs the full compiler pipeline and returns assembly text.
 func GenAsm(file, src string, spec *isa.Spec) (string, int, error) {
-	p, err := Parse(file, src)
+	var p *Program
+	var err error
+	timedPass("parse", func() { p, err = Parse(file, src) })
 	if err != nil {
 		return "", 0, err
 	}
@@ -55,7 +83,8 @@ func GenAsm(file, src string, spec *isa.Spec) (string, int, error) {
 		return "", 0, fmt.Errorf("%s: no function main", file)
 	}
 
-	irFuncs, err := GenIR(p)
+	var irFuncs []*IRFunc
+	timedPass("irgen", func() { irFuncs, err = GenIR(p) })
 	if err != nil {
 		return "", 0, err
 	}
@@ -82,16 +111,27 @@ func GenAsm(file, src string, spec *isa.Spec) (string, int, error) {
 	out.WriteString(RuntimeSource(spec))
 	spills := 0
 	for _, f := range irFuncs {
-		Optimize(f, spec)
-		Legalize(f, spec, data.offsets)
-		LowerCalls(f)
-		LowerCallTargets(f, spec)
-		Optimize(f, spec)
-		Hoist(f, spec, data.offsets)
-		Optimize(f, spec)
-		alloc := Allocate(f, spec)
+		var removed int64
+		optimize := func() {
+			before := instrCount(f)
+			timedPass("optimize", func() { Optimize(f, spec) })
+			removed += before - instrCount(f)
+		}
+		optimize()
+		timedPass("legalize", func() {
+			Legalize(f, spec, data.offsets)
+			LowerCalls(f)
+			LowerCallTargets(f, spec)
+		})
+		optimize()
+		timedPass("hoist", func() { Hoist(f, spec, data.offsets) })
+		optimize()
+		telemetry.Default().Counter("mcc.opt.removed_instrs").Add(removed)
+		var alloc *Alloc
+		timedPass("regalloc", func() { alloc = Allocate(f, spec) })
 		spills += alloc.Spills
-		lines, err := genFuncAsm(f, spec, alloc, data)
+		var lines []line
+		timedPass("emit", func() { lines, err = genFuncAsm(f, spec, alloc, data) })
 		if err != nil {
 			return "", 0, err
 		}

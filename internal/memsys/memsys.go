@@ -12,7 +12,10 @@
 // (request counts do not depend on the latency).
 package memsys
 
-import "repro/internal/isa"
+import (
+	"repro/internal/isa"
+	"repro/internal/telemetry"
+)
 
 // NoCache counts memory requests for a cacheless processor with a
 // fetch buffer of one bus-width block.
@@ -59,6 +62,16 @@ func (n *NoCache) Store(addr uint32, size uint32) { n.DRequests++ }
 
 // Requests returns total memory requests.
 func (n *NoCache) Requests() int64 { return n.IRequests + n.DRequests }
+
+// Register publishes the model's request counts as live gauges under
+// prefix; the trace-driven fields stay the single source of truth and
+// the observer hot path is untouched.
+func (n *NoCache) Register(reg *telemetry.Registry, prefix string) {
+	reg.RegisterFunc(prefix+"bus_bytes", func() int64 { return int64(n.BusBytes) })
+	reg.RegisterFunc(prefix+"i_requests", func() int64 { return n.IRequests })
+	reg.RegisterFunc(prefix+"d_requests", func() int64 { return n.DRequests })
+	reg.RegisterFunc(prefix+"requests", n.Requests)
+}
 
 // Cycles evaluates the paper's Appendix A formula
 //

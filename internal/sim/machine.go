@@ -19,12 +19,14 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 
 	"repro/internal/d16"
 	"repro/internal/dlxe"
 	"repro/internal/isa"
 	"repro/internal/prog"
+	"repro/internal/telemetry"
 )
 
 // FPU result latencies in cycles (a result produced at cycle t is usable
@@ -96,15 +98,33 @@ type Machine struct {
 
 	Stats Stats
 
+	// TraceW, when non-nil, receives one line per executed instruction
+	// (sequence number, pc, disassembly) — the full-trace debug mode.
+	TraceW io.Writer
+
 	text      []isa.Instr // pre-decoded text segment
 	textErr   []error
 	textBase  uint32
 	ib        uint32
 	obs       []Observer
+	itrace    *telemetry.Ring[TraceEntry]
 	t         int64 // issue cycle counter for the scoreboard
 	ready     [64]int64
 	fpsrReady int64
 	lastWord  uint32 // last fetched 32-bit word address (+1 so 0 = none)
+}
+
+// TraceEntry is one instruction-trace ring-buffer slot. The faulting
+// instruction of a trapped run is included: entries are recorded before
+// execution.
+type TraceEntry struct {
+	Seq int64 // 1-based position in the dynamic instruction stream
+	PC  uint32
+	In  isa.Instr
+}
+
+func (e TraceEntry) String() string {
+	return fmt.Sprintf("%10d  %06x  %s", e.Seq, e.PC, e.In)
 }
 
 // New loads an image into a fresh machine.
@@ -144,6 +164,50 @@ func New(img *prog.Image) (*Machine, error) {
 // Attach adds a timing-model observer.
 func (m *Machine) Attach(o Observer) { m.obs = append(m.obs, o) }
 
+// EnableITrace keeps a ring buffer of the last n executed instructions
+// for post-mortem dumps (n <= 0 disables it).
+func (m *Machine) EnableITrace(n int) {
+	if n <= 0 {
+		m.itrace = nil
+		return
+	}
+	m.itrace = telemetry.NewRing[TraceEntry](n)
+}
+
+// ITrace returns the retained instruction trace, oldest first (nil when
+// tracing is not enabled).
+func (m *Machine) ITrace() []TraceEntry {
+	if m.itrace == nil {
+		return nil
+	}
+	return m.itrace.Slice()
+}
+
+// RegisterMetrics publishes the machine's dynamic statistics into a
+// telemetry registry as live gauges under prefix (e.g. "sim."). Reads
+// happen at snapshot time, so the hot execution loop is untouched.
+func (m *Machine) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	for _, f := range []struct {
+		name string
+		v    *int64
+	}{
+		{"instrs", &m.Stats.Instrs},
+		{"interlocks", &m.Stats.Interlocks},
+		{"loads", &m.Stats.Loads},
+		{"stores", &m.Stats.Stores},
+		{"pool_loads", &m.Stats.PoolLoads},
+		{"fetch_words", &m.Stats.FetchWords},
+		{"branches", &m.Stats.Branches},
+		{"branches_taken", &m.Stats.Taken},
+		{"jumps", &m.Stats.Jumps},
+		{"nops", &m.Stats.Nops},
+	} {
+		v := f.v
+		reg.RegisterFunc(prefix+f.name, func() int64 { return *v })
+	}
+	reg.RegisterFunc(prefix+"expected_cycles", m.ExpectedCycles)
+}
+
 // Halted reports whether the program executed trap 0.
 func (m *Machine) Halted() bool { return m.halted }
 
@@ -178,6 +242,12 @@ func (m *Machine) Run(maxInstrs int64) error {
 		in, err := m.fetch(pc)
 		if err != nil {
 			return err
+		}
+		if m.itrace != nil {
+			m.itrace.Push(TraceEntry{Seq: m.Stats.Instrs + 1, PC: pc, In: in})
+		}
+		if m.TraceW != nil {
+			fmt.Fprintf(m.TraceW, "%10d  %06x  %s\n", m.Stats.Instrs+1, pc, in)
 		}
 		m.account(pc, in)
 		target, taken, err := m.exec(in)

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+const callProgram = `
+	.text
+	.global _start
+_start:
+	mvi r4, 5
+.Lloop:
+	call work
+	nop
+	subi r4, r4, 1
+	mv   r0, r4
+	bnz  r0, .Lloop
+	nop
+	trap 0
+	nop
+	.pool
+work:
+	subi sp, sp, 8
+	st r1, 0(sp)
+	call leaf
+	nop
+	ld r1, 0(sp)
+	nop
+	addi sp, sp, 8
+	ret
+	nop
+leaf:
+	mvi r5, 2
+	ret
+	nop
+`
+
+func runProfiled(t *testing.T, src string) (*Machine, *Profile) {
+	t.Helper()
+	img, err := asm.Assemble("p.s", src, isa.D16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProfile(img)
+	m.Attach(p)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m, p
+}
+
+// TestFoldedStackTotal: every executed instruction is exactly one folded
+// sample, so the folded counts sum to the path length.
+func TestFoldedStackTotal(t *testing.T) {
+	m, p := runProfiled(t, callProgram)
+	var sum int64
+	folded := p.Folded()
+	for _, line := range strings.Split(strings.TrimSpace(folded), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed folded line %q", line)
+		}
+		var n int64
+		for _, c := range fields[1] {
+			n = n*10 + int64(c-'0')
+		}
+		sum += n
+	}
+	if sum != m.Stats.Instrs {
+		t.Errorf("folded samples sum to %d, path length is %d\n%s", sum, m.Stats.Instrs, folded)
+	}
+	// The nested call shows up as a three-deep stack.
+	if !strings.Contains(folded, "_start;work;leaf ") {
+		t.Errorf("missing nested stack in folded output:\n%s", folded)
+	}
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	_, p := runProfiled(t, callProgram)
+	want := map[[2]string]int64{
+		{"_start", "work"}: 5,
+		{"work", "leaf"}:   5,
+	}
+	got := map[[2]string]int64{}
+	for _, e := range p.Edges() {
+		got[[2]string{e.Caller, e.Callee}] = e.Count
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("edge %s->%s = %d, want %d", k[0], k[1], got[k], n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("unexpected extra edges: %v", p.Edges())
+	}
+}
+
+// TestProfileDeterministic: symbol ties at one address and map-ordered
+// construction must not leak into the output.
+func TestProfileDeterministic(t *testing.T) {
+	src := strings.Replace(callProgram, "work:", "work:\nwork_alias:", 1)
+	var first, firstFolded string
+	for i := 0; i < 5; i++ {
+		_, p := runProfiled(t, src)
+		if i == 0 {
+			first, firstFolded = p.String(), p.Folded()
+			continue
+		}
+		if p.String() != first {
+			t.Fatalf("profile output varies across runs:\n%s\nvs\n%s", first, p.String())
+		}
+		if p.Folded() != firstFolded {
+			t.Fatalf("folded output varies across runs:\n%s\nvs\n%s", firstFolded, p.Folded())
+		}
+	}
+}
+
+// TestProfileFiltersInternalSymbols: dot-prefixed labels (.L blocks,
+// pool/literal markers) never appear as profile rows.
+func TestProfileFiltersInternalSymbols(t *testing.T) {
+	_, p := runProfiled(t, callProgram)
+	for _, e := range p.Top(0) {
+		if strings.HasPrefix(e.Name, ".") {
+			t.Errorf("internal symbol %q leaked into the profile", e.Name)
+		}
+	}
+	for _, n := range p.names {
+		if strings.HasPrefix(n, ".") {
+			t.Errorf("internal symbol %q retained", n)
+		}
+	}
+}
+
+func TestITraceRing(t *testing.T) {
+	img, err := asm.Assemble("p.s", callProgram, isa.D16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableITrace(4)
+	var full strings.Builder
+	m.TraceW = &full
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	tr := m.ITrace()
+	if len(tr) != 4 {
+		t.Fatalf("ring kept %d entries, want 4", len(tr))
+	}
+	// The last retained instruction is the halting trap, and sequence
+	// numbers are consecutive.
+	last := tr[len(tr)-1]
+	if last.In.Op != isa.TRAP {
+		t.Errorf("last traced instruction is %s, want trap", last.In)
+	}
+	if last.Seq != m.Stats.Instrs {
+		t.Errorf("last seq %d != path length %d", last.Seq, m.Stats.Instrs)
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Seq != tr[i-1].Seq+1 {
+			t.Errorf("non-consecutive ring entries: %v", tr)
+		}
+	}
+	// Full-trace mode logged every instruction.
+	lines := strings.Count(full.String(), "\n")
+	if int64(lines) != m.Stats.Instrs {
+		t.Errorf("full trace has %d lines, path length is %d", lines, m.Stats.Instrs)
+	}
+}
+
+// TestITraceCapturesFaultingInstruction: the ring records before
+// execution, so the instruction that faults is the last entry.
+func TestITraceCapturesFaultingInstruction(t *testing.T) {
+	src := `
+	.text
+	.global _start
+_start:
+	mvi r4, 3
+	ld r5, 0(r4)
+	trap 0
+	nop
+`
+	img, err := asm.Assemble("p.s", src, isa.D16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableITrace(8)
+	if err := m.Run(100); err == nil {
+		t.Fatal("unaligned load did not fault")
+	}
+	tr := m.ITrace()
+	if len(tr) == 0 || tr[len(tr)-1].In.Op != isa.LD {
+		t.Errorf("faulting load missing from ring: %v", tr)
+	}
+}

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// Table is one rendered experiment table captured as data. Cells are the
+// exact strings of the text rendering, so the JSON export and the text
+// tables can never disagree.
+type Table struct {
+	Caption string     `json:"caption,omitempty"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+}
+
+// ExperimentResult is the machine-readable form of one experiment
+// (one figure or table of the paper): every table it rendered, in order.
+type ExperimentResult struct {
+	ID         string   `json:"id"`
+	Title      string   `json:"title"`
+	Tables     []*Table `json:"tables"`
+	ElapsedSec float64  `json:"elapsed_sec,omitempty"`
+}
+
+// NewExperimentResult returns an empty result document.
+func NewExperimentResult(id, title string) *ExperimentResult {
+	return &ExperimentResult{ID: id, Title: title}
+}
+
+// AddTable records one rendered table (cells are copied).
+func (r *ExperimentResult) AddTable(caption string, header []string, rows [][]string) {
+	t := &Table{Caption: caption, Header: append([]string(nil), header...)}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, append([]string(nil), row...))
+	}
+	r.Tables = append(r.Tables, t)
+}
+
+// WriteJSONFile marshals v with indentation and writes it to path,
+// creating parent directories as needed.
+func WriteJSONFile(path string, v any) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+// Ring is a fixed-capacity ring buffer keeping the last-N pushed values
+// (the simulator's instruction-trace buffer). It is NOT safe for
+// concurrent use: the intended producers are single-threaded inner
+// loops, where a mutex per event would be the dominant cost.
+type Ring[T any] struct {
+	buf   []T
+	next  int
+	total int64
+}
+
+// NewRing returns a ring holding the last n values (n must be > 0).
+func NewRing[T any](n int) *Ring[T] {
+	if n <= 0 {
+		panic("telemetry: ring capacity must be positive")
+	}
+	return &Ring[T]{buf: make([]T, 0, n)}
+}
+
+// Push appends v, evicting the oldest value once the ring is full.
+func (r *Ring[T]) Push(v T) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+	} else {
+		r.buf[r.next] = v
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// Len returns the number of values currently held (≤ capacity).
+func (r *Ring[T]) Len() int { return len(r.buf) }
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return cap(r.buf) }
+
+// Total returns the number of values ever pushed.
+func (r *Ring[T]) Total() int64 { return r.total }
+
+// Slice returns the retained values, oldest first.
+func (r *Ring[T]) Slice() []T {
+	out := make([]T, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing[int](4)
+	if r.Cap() != 4 || r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("fresh ring: cap=%d len=%d total=%d", r.Cap(), r.Len(), r.Total())
+	}
+
+	// Partially filled: order preserved, no eviction.
+	r.Push(1)
+	r.Push(2)
+	if got := r.Slice(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("partial ring = %v", got)
+	}
+
+	// Push past capacity twice over; only the last 4 survive, oldest first.
+	for v := 3; v <= 10; v++ {
+		r.Push(v)
+	}
+	if got := r.Slice(); !reflect.DeepEqual(got, []int{7, 8, 9, 10}) {
+		t.Errorf("wrapped ring = %v, want [7 8 9 10]", got)
+	}
+	if r.Len() != 4 || r.Total() != 10 {
+		t.Errorf("len=%d total=%d, want 4/10", r.Len(), r.Total())
+	}
+
+	// Exactly one more: 7 is evicted.
+	r.Push(11)
+	if got := r.Slice(); !reflect.DeepEqual(got, []int{8, 9, 10, 11}) {
+		t.Errorf("ring after one more push = %v", got)
+	}
+}
+
+func TestRingCapacityOne(t *testing.T) {
+	r := NewRing[string](1)
+	r.Push("a")
+	r.Push("b")
+	if got := r.Slice(); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("ring = %v, want [b]", got)
+	}
+}
+
+func TestRingRejectsZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRing(0) did not panic")
+		}
+	}()
+	NewRing[int](0)
+}
+
+func TestExperimentResultCopiesCells(t *testing.T) {
+	res := NewExperimentResult("fig4", "Figure 4")
+	header := []string{"program", "ratio"}
+	rows := [][]string{{"dhrystone", "1.50"}}
+	res.AddTable("caption", header, rows)
+	rows[0][0] = "mutated"
+	header[0] = "mutated"
+	if res.Tables[0].Rows[0][0] != "dhrystone" || res.Tables[0].Header[0] != "program" {
+		t.Error("AddTable aliased caller slices")
+	}
+}
