@@ -1,7 +1,14 @@
 # Tier-1 gate: everything a PR must keep green (see ROADMAP.md).
-.PHONY: check build test vet smoke clean
+#
+# All scratch output lives under one temp root ($(TMP)); the CLIs used
+# by smoke/determinism/bench are built once into $(TMP)/bin via the
+# shared Go build cache instead of per-target `go run` compiles.
+TMP := /tmp/repro-make
+BIN := $(TMP)/bin
 
-check: vet build test smoke
+.PHONY: check build test vet smoke determinism bench clean
+
+check: vet build test smoke determinism
 
 vet:
 	go vet ./...
@@ -12,10 +19,34 @@ build:
 test:
 	go test -race ./...
 
+$(BIN)/repro: build
+	@mkdir -p $(BIN)
+	go build -o $@ ./cmd/repro
+
+$(BIN)/perfgate: build
+	@mkdir -p $(BIN)
+	go build -o $@ ./cmd/perfgate
+
 # End-to-end smoke: one experiment with structured output attached.
-smoke:
-	go run ./cmd/repro -run fig4 -json /tmp/repro-smoke >/dev/null
-	@test -s /tmp/repro-smoke/fig4.json && echo "smoke ok: /tmp/repro-smoke/fig4.json"
+smoke: $(BIN)/repro
+	$(BIN)/repro -run fig4 -json $(TMP)/smoke >/dev/null
+	@test -s $(TMP)/smoke/fig4.json && echo "smoke ok: $(TMP)/smoke/fig4.json"
+
+# Determinism guard: the same experiment run twice must produce
+# byte-identical structured output (-timing=false strips the only
+# wall-clock field; metrics.json is excluded — it holds timing
+# histograms by design).
+determinism: $(BIN)/repro
+	$(BIN)/repro -run fig4 -json $(TMP)/det-a -timing=false >/dev/null
+	$(BIN)/repro -run fig4 -json $(TMP)/det-b -timing=false >/dev/null
+	cmp $(TMP)/det-a/fig4.json $(TMP)/det-b/fig4.json
+	cmp $(TMP)/det-a/summary.json $(TMP)/det-b/summary.json
+	@echo "determinism ok: fig4.json and summary.json byte-identical"
+
+# Continuous benchmarks: writes BENCH_<n>.json at the repo root and
+# fails on >10% regressions against the previous BENCH file.
+bench: $(BIN)/perfgate
+	$(BIN)/perfgate
 
 clean:
-	rm -rf /tmp/repro-smoke
+	rm -rf $(TMP) /tmp/repro-smoke

@@ -18,6 +18,11 @@
 //	-v           print a one-line compile/assemble/link/run stage-timing
 //	             summary, so compiler slowdowns are visible without a
 //	             trace viewer
+//	-account     attach the cycle-level pipeline engine and print a cycle
+//	             attribution breakdown (useful / load_delay / fpu /
+//	             ifetch_wait / dmem_wait / port_contention / cache_miss /
+//	             drain) plus the hottest functions; the memory system is
+//	             shaped with -bus, -waits, -shared, -cachekb, -misspenalty
 package main
 
 import (
@@ -27,8 +32,11 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/mcc"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -45,6 +53,12 @@ func main() {
 	fullTrace := flag.Bool("fulltrace", false, "stream every executed instruction to stderr")
 	verbose := flag.Bool("v", false, "print pipeline stage timings (compile/assemble/link/run)")
 	maxInstrs := flag.Int64("max", 2_000_000_000, "instruction budget")
+	account := flag.Bool("account", false, "attach the cycle-level engine and print a cycle attribution breakdown")
+	busBytes := flag.Uint("bus", 4, "memory bus width in bytes for -account")
+	waits := flag.Int64("waits", 1, "memory wait states for -account (ignored with -cachekb)")
+	shared := flag.Bool("shared", false, "share one memory port between ifetch and data for -account")
+	cacheKB := flag.Uint("cachekb", 0, "split I/D cache size in KB for -account (0 = cacheless)")
+	missPenalty := flag.Int64("misspenalty", 8, "cache miss penalty in cycles for -account")
 	flag.Parse()
 
 	var spec *isa.Spec
@@ -114,6 +128,27 @@ func main() {
 		prof = sim.NewProfile(c.Image)
 		m.Attach(prof)
 	}
+	var eng *pipeline.Engine
+	if *account {
+		pc := pipeline.Config{
+			BusBytes:    uint32(*busBytes),
+			WaitStates:  *waits,
+			SharedPort:  *shared,
+			MissPenalty: *missPenalty,
+		}
+		if *cacheKB > 0 {
+			bytes := uint32(*cacheKB) * 1024
+			sys, err := cache.NewSystem(cache.PaperConfig(bytes), cache.PaperConfig(bytes))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			pc.Caches = sys
+		}
+		eng = pipeline.New(pc)
+		eng.EnablePCAccounting()
+		m.Attach(eng)
+	}
 	if *itrace > 0 {
 		m.EnableITrace(*itrace)
 	}
@@ -150,6 +185,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "instrs=%d interlocks=%d loads=%d (pool %d) stores=%d fetchwords=%d spills=%d\n",
 		m.Stats.Instrs, m.Stats.Interlocks, m.Stats.Loads, m.Stats.PoolLoads,
 		m.Stats.Stores, m.Stats.FetchWords, c.Spills)
+	if eng != nil {
+		printAccount(eng, c.Image)
+	}
 	if *verbose {
 		d := tracer.DurationsByName()
 		fmt.Fprintf(os.Stderr, "stages: compile=%s assemble=%s link=%s run=%s (%.1f Minstr/s)\n",
@@ -167,4 +205,32 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// printAccount prints the cycle attribution breakdown and the hottest
+// functions by attributed cycles.
+func printAccount(e *pipeline.Engine, img *prog.Image) {
+	fmt.Fprintf(os.Stderr, "--- cycle accounting (%d cycles, %d ifetch bytes, %.3f CPI) ---\n",
+		e.Cycles(), e.FetchBytes(), float64(e.Cycles())/float64(max64(e.Instrs, 1)))
+	pipeline.WriteBreakdown(os.Stderr, []string{"cycles"}, []pipeline.Breakdown{e.Breakdown()})
+	funcs := e.PerFunc(sim.NewSymTable(img))
+	const top = 10
+	fmt.Fprintf(os.Stderr, "--- hottest functions (top %d of %d) ---\n", min(top, len(funcs)), len(funcs))
+	fmt.Fprintf(os.Stderr, "%12s  %6s  %12s  %6s  %s\n", "cycles", "%", "ifetch B", "useful%", "function")
+	for i, f := range funcs {
+		if i >= top {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "%12d  %6.1f  %12d  %6.1f  %s\n",
+			f.Cycles, 100*float64(f.Cycles)/float64(e.Cycles()),
+			f.FetchBytes, 100*float64(f.Buckets[pipeline.BUseful])/float64(max64(f.Cycles, 1)),
+			f.Name)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

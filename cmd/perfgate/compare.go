@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Report is one perfgate run, persisted as BENCH_<seq>.json at the
+// repository root. Seq is a monotonically increasing run number; the
+// latest file is the comparison baseline for the next run.
+type Report struct {
+	Seq        int      `json:"seq"`
+	GoVersion  string   `json:"go,omitempty"`
+	UnixTime   int64    `json:"unix_time,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Result is one benchmark's metrics. NsPerOp and AllocsPerOp are
+// higher-is-worse; InstrsPerSec (simulator throughput, zero when not
+// applicable) is lower-is-worse.
+type Result struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	InstrsPerSec float64 `json:"instrs_per_sec,omitempty"`
+}
+
+// Delta is one metric's old-vs-new comparison. Ratio is new/old for
+// higher-is-worse metrics and old/new for lower-is-worse ones, so in
+// both cases Ratio > 1+threshold means Regression.
+type Delta struct {
+	Name       string
+	Metric     string
+	Old, New   float64
+	Ratio      float64
+	Regression bool
+}
+
+// Compare matches benchmarks by name and flags every metric that got
+// worse by more than threshold (0.10 = 10%). Benchmarks present in only
+// one report are skipped: additions have no baseline and removals are
+// visible in the report diff, not a perf regression.
+func Compare(old, cur *Report, threshold float64) []Delta {
+	prev := map[string]Result{}
+	for _, r := range old.Benchmarks {
+		prev[r.Name] = r
+	}
+	var out []Delta
+	for _, r := range cur.Benchmarks {
+		p, ok := prev[r.Name]
+		if !ok {
+			continue
+		}
+		out = append(out, compareMetric(r.Name, "ns_per_op", p.NsPerOp, r.NsPerOp, false, threshold)...)
+		out = append(out, compareMetric(r.Name, "allocs_per_op", p.AllocsPerOp, r.AllocsPerOp, false, threshold)...)
+		out = append(out, compareMetric(r.Name, "instrs_per_sec", p.InstrsPerSec, r.InstrsPerSec, true, threshold)...)
+	}
+	return out
+}
+
+// compareMetric yields at most one Delta; metrics absent (zero) on
+// either side are not comparable.
+func compareMetric(name, metric string, old, cur float64, higherIsBetter bool, threshold float64) []Delta {
+	if old <= 0 || cur <= 0 {
+		return nil
+	}
+	ratio := cur / old
+	if higherIsBetter {
+		ratio = old / cur
+	}
+	return []Delta{{
+		Name:       name,
+		Metric:     metric,
+		Old:        old,
+		New:        cur,
+		Ratio:      ratio,
+		Regression: ratio > 1+threshold,
+	}}
+}
+
+// Regressions filters Compare's output down to the failures.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// LatestReport finds the BENCH_<n>.json with the highest n in dir.
+// Returns (nil, 0, nil) when no prior report exists (first run).
+func LatestReport(dir string) (*Report, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	best, bestSeq := "", 0
+	for _, e := range entries {
+		m := benchFileRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= bestSeq {
+			continue
+		}
+		best, bestSeq = e.Name(), n
+	}
+	if best == "" {
+		return nil, 0, nil
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, best))
+	if err != nil {
+		return nil, 0, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", best, err)
+	}
+	return &r, bestSeq, nil
+}
+
+// WriteReport persists the report as BENCH_<seq>.json, sorted by
+// benchmark name so diffs between runs are stable.
+func WriteReport(dir string, r *Report) (string, error) {
+	sort.Slice(r.Benchmarks, func(i, j int) bool {
+		return r.Benchmarks[i].Name < r.Benchmarks[j].Name
+	})
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", r.Seq))
+	return path, os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func report(seq int, results ...Result) *Report {
+	return &Report{Seq: seq, Benchmarks: results}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	old := report(1,
+		Result{Name: "experiment/fig4", NsPerOp: 1000, AllocsPerOp: 100},
+		Result{Name: "sim/throughput", NsPerOp: 500, AllocsPerOp: 10, InstrsPerSec: 1e6},
+	)
+	cur := report(2,
+		Result{Name: "experiment/fig4", NsPerOp: 1200, AllocsPerOp: 100}, // 20% slower
+		Result{Name: "sim/throughput", NsPerOp: 500, AllocsPerOp: 10, InstrsPerSec: 8e5}, // 25% less throughput
+	)
+	bad := Regressions(Compare(old, cur, 0.10))
+	if len(bad) != 2 {
+		t.Fatalf("want 2 regressions, got %d: %+v", len(bad), bad)
+	}
+	if bad[0].Name != "experiment/fig4" || bad[0].Metric != "ns_per_op" {
+		t.Errorf("first regression = %s/%s, want experiment/fig4 ns_per_op", bad[0].Name, bad[0].Metric)
+	}
+	if bad[1].Name != "sim/throughput" || bad[1].Metric != "instrs_per_sec" {
+		t.Errorf("second regression = %s/%s, want sim/throughput instrs_per_sec", bad[1].Name, bad[1].Metric)
+	}
+	if r := bad[1].Ratio; r < 1.24 || r > 1.26 {
+		t.Errorf("throughput regression ratio = %v, want 1.25 (old/new)", r)
+	}
+}
+
+func TestCompareWithinThresholdAndImprovementsPass(t *testing.T) {
+	old := report(1, Result{Name: "a", NsPerOp: 1000, AllocsPerOp: 100, InstrsPerSec: 1e6})
+	cur := report(2, Result{Name: "a", NsPerOp: 1090, AllocsPerOp: 40, InstrsPerSec: 2e6}) // +9% ns, fewer allocs, faster sim
+	deltas := Compare(old, cur, 0.10)
+	if len(deltas) != 3 {
+		t.Fatalf("want 3 comparable metrics, got %d", len(deltas))
+	}
+	if bad := Regressions(deltas); len(bad) != 0 {
+		t.Fatalf("nothing should regress: %+v", bad)
+	}
+}
+
+func TestCompareAllocGrowthRegresses(t *testing.T) {
+	old := report(1, Result{Name: "a", NsPerOp: 1000, AllocsPerOp: 100})
+	cur := report(2, Result{Name: "a", NsPerOp: 1000, AllocsPerOp: 150})
+	bad := Regressions(Compare(old, cur, 0.10))
+	if len(bad) != 1 || bad[0].Metric != "allocs_per_op" {
+		t.Fatalf("want one allocs_per_op regression, got %+v", bad)
+	}
+}
+
+func TestCompareSkipsUnmatchedAndZeroMetrics(t *testing.T) {
+	old := report(1,
+		Result{Name: "removed", NsPerOp: 1},
+		Result{Name: "a", NsPerOp: 1000}, // no InstrsPerSec on either side
+	)
+	cur := report(2,
+		Result{Name: "a", NsPerOp: 1000},
+		Result{Name: "added", NsPerOp: 99999},
+	)
+	deltas := Compare(old, cur, 0.10)
+	if len(deltas) != 1 || deltas[0].Name != "a" || deltas[0].Metric != "ns_per_op" {
+		t.Fatalf("want only a/ns_per_op compared, got %+v", deltas)
+	}
+}
+
+func TestLatestReportFirstRunAndRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	// First run: no baseline.
+	r, seq, err := LatestReport(dir)
+	if err != nil || r != nil || seq != 0 {
+		t.Fatalf("empty dir: got (%v, %d, %v), want (nil, 0, nil)", r, seq, err)
+	}
+
+	// Write seq 1 and 2 (plus a non-matching file); latest wins.
+	for i := 1; i <= 2; i++ {
+		rep := report(i, Result{Name: "a", NsPerOp: float64(i)})
+		if _, err := WriteReport(dir, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_x.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, seq, err = LatestReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 || r.Seq != 2 || len(r.Benchmarks) != 1 || r.Benchmarks[0].NsPerOp != 2 {
+		t.Fatalf("latest = seq %d %+v, want seq 2", seq, r)
+	}
+}
+
+func TestWriteReportSortsBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	rep := report(1, Result{Name: "z"}, Result{Name: "a"})
+	if _, err := WriteReport(dir, rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmarks[0].Name != "a" || rep.Benchmarks[1].Name != "z" {
+		t.Fatalf("benchmarks not sorted: %+v", rep.Benchmarks)
+	}
+}

@@ -1,0 +1,178 @@
+// Command perfgate is the continuous-benchmark harness: it re-runs the
+// repository's benchmark suite (every experiment from bench_test.go,
+// plus a simulator-throughput microbench) in-process, writes the
+// results as BENCH_<n>.json at the repository root, and compares them
+// against the latest prior BENCH file.
+//
+// Usage:
+//
+//	perfgate                    # run everything, write BENCH_<n+1>.json,
+//	                            # exit 1 on any >10% regression
+//	perfgate -bench 'fig4|sim'  # only benchmarks matching the regexp
+//	perfgate -threshold 0.25    # tolerate up to 25% noise
+//	perfgate -benchtime 1x      # single iteration (fast, noisy)
+//
+// The first run has no baseline and always passes. ns/op and allocs/op
+// regress when they grow; simulator instrs/sec regresses when it drops.
+// See docs/OBSERVABILITY.md for the BENCH_*.json schema.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/mcc"
+	"repro/internal/sim"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json reports")
+	threshold := flag.Float64("threshold", 0.10, "relative slowdown that fails the gate")
+	benchtime := flag.String("benchtime", "1s", "testing -benchtime value per benchmark (heavy experiments still run once; cheap ones iterate to stability)")
+	pattern := flag.String("bench", "", "only run benchmarks whose name matches this regexp")
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fatal(err)
+	}
+
+	sel := regexp.MustCompile("")
+	if *pattern != "" {
+		var err error
+		if sel, err = regexp.Compile(*pattern); err != nil {
+			fatal(err)
+		}
+	}
+
+	prev, prevSeq, err := LatestReport(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	cur := &Report{
+		Seq:       prevSeq + 1,
+		GoVersion: runtime.Version(),
+		UnixTime:  time.Now().Unix(),
+	}
+
+	for _, e := range experiments.All() {
+		name := "experiment/" + e.ID
+		if !sel.MatchString(name) {
+			continue
+		}
+		exp := e
+		r, err := run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ctx := &experiments.Ctx{Lab: core.NewLab(), W: io.Discard}
+				if err := exp.Run(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cur.Benchmarks = append(cur.Benchmarks, r)
+	}
+	if sel.MatchString("sim/throughput") {
+		r, err := benchSimThroughput()
+		if err != nil {
+			fatal(err)
+		}
+		cur.Benchmarks = append(cur.Benchmarks, r)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmarks match -bench %q", *pattern))
+	}
+
+	path, err := WriteReport(*dir, cur)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(cur.Benchmarks))
+
+	if prev == nil {
+		fmt.Println("no prior BENCH file: baseline established, gate passes")
+		return
+	}
+	deltas := Compare(prev, cur, *threshold)
+	bad := Regressions(deltas)
+	fmt.Printf("compared against BENCH_%d.json: %d metrics, %d regressions (threshold %.0f%%)\n",
+		prevSeq, len(deltas), len(bad), *threshold*100)
+	for _, d := range bad {
+		fmt.Printf("  REGRESSION %-30s %-15s %.4g -> %.4g (%.1f%% worse)\n",
+			d.Name, d.Metric, d.Old, d.New, (d.Ratio-1)*100)
+	}
+	if len(bad) > 0 {
+		os.Exit(1)
+	}
+}
+
+// run executes one benchmark function and converts the result. A
+// b.Fatal inside the function aborts the benchmark, which testing
+// reports as zero iterations.
+func run(name string, fn func(*testing.B)) (Result, error) {
+	fmt.Printf("running %s...\n", name)
+	r := testing.Benchmark(fn)
+	if r.N == 0 {
+		return Result{}, fmt.Errorf("%s: benchmark failed", name)
+	}
+	return Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+	}, nil
+}
+
+// benchSimThroughput measures raw simulator speed — simulated
+// instructions per wall-clock second — on a compute-bound benchmark,
+// compiled once outside the timed region.
+func benchSimThroughput() (Result, error) {
+	prog := bench.ByName("queens")
+	if prog == nil {
+		return Result{}, fmt.Errorf("sim/throughput: benchmark queens missing")
+	}
+	c, err := mcc.Compile(prog.Name+".mc", prog.Source, isa.D16())
+	if err != nil {
+		return Result{}, err
+	}
+	var instrs, iters int64
+	r, err := run("sim/throughput", func(b *testing.B) {
+		b.ReportAllocs()
+		instrs, iters = 0, int64(b.N)
+		for i := 0; i < b.N; i++ {
+			m, err := sim.New(c.Image)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Run(prog.MaxInstrs); err != nil {
+				b.Fatal(err)
+			}
+			instrs += m.Stats.Instrs
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if iters > 0 && r.NsPerOp > 0 {
+		perIter := float64(instrs) / float64(iters)
+		r.InstrsPerSec = perIter * 1e9 / r.NsPerOp
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfgate:", err)
+	os.Exit(1)
+}

@@ -12,6 +12,14 @@
 //	repro -trace out/trace.json     # write a Chrome trace_event file of the
 //	                                # compile/assemble/link/run pipeline spans
 //	                                # (open in chrome://tracing or Perfetto)
+//	repro -account                  # cycle-accounting report: per-benchmark
+//	                                # bucket breakdowns (D16/DLXe, cacheless
+//	                                # and cached) plus the per-function
+//	                                # differential D16-vs-DLXe report
+//	repro -listen :6060             # serve /debug/pprof and /metrics
+//	                                # (Prometheus text format) during the run
+//	repro ... -timing=false         # omit wall-clock stamps from JSON so
+//	                                # repeated runs are byte-identical
 //
 // See docs/OBSERVABILITY.md for the file formats.
 package main
@@ -34,7 +42,14 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment IDs, or \"all\"")
 	jsonDir := flag.String("json", "", "directory for machine-readable results (per-experiment JSON, summary.json, metrics.json)")
 	traceFile := flag.String("trace", "", "write pipeline spans as Chrome trace-event JSON to this file")
+	account := flag.Bool("account", false, "run the cycle-accounting report (bucket breakdowns + differential D16/DLXe per-function report) instead of experiments")
+	listen := flag.String("listen", "", "serve /debug/pprof and /metrics on this address for the duration of the run")
+	timing := flag.Bool("timing", true, "stamp elapsed wall-clock seconds into per-experiment JSON (disable for byte-identical reruns)")
 	flag.Parse()
+
+	if *listen != "" {
+		serveDebug(*listen)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -68,6 +83,20 @@ func main() {
 	}
 
 	ctx := &experiments.Ctx{Lab: core.NewLab(), W: os.Stdout}
+
+	if *account {
+		if err := runAccount(ctx, *jsonDir, *timing); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *traceFile != "" {
+			if err := writeTrace(*traceFile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 	for _, e := range todo {
 		start := time.Now()
 		if *jsonDir != "" {
@@ -85,7 +114,9 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		if ctx.Rec != nil {
-			ctx.Rec.ElapsedSec = elapsed.Seconds()
+			if *timing {
+				ctx.Rec.ElapsedSec = elapsed.Seconds()
+			}
 			path := filepath.Join(*jsonDir, e.ID+".json")
 			if err := telemetry.WriteJSONFile(path, ctx.Rec); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
@@ -108,6 +139,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runAccount runs the cycle-accounting report, optionally recording its
+// tables as out/account.json.
+func runAccount(ctx *experiments.Ctx, jsonDir string, timing bool) error {
+	start := time.Now()
+	if jsonDir != "" {
+		ctx.Rec = telemetry.NewExperimentResult("account",
+			"Cycle accounting: bucket breakdowns and D16-vs-DLXe per-function differential")
+	}
+	fmt.Printf("==============================================================\n")
+	fmt.Printf("account — cycle attribution and differential D16/DLXe report\n")
+	fmt.Printf("==============================================================\n")
+	span := telemetry.StartSpan("experiment", telemetry.String("id", "account"))
+	err := experiments.Account(ctx)
+	span.End()
+	if err != nil {
+		return err
+	}
+	if ctx.Rec != nil {
+		if timing {
+			ctx.Rec.ElapsedSec = time.Since(start).Seconds()
+		}
+		if err := telemetry.WriteJSONFile(filepath.Join(jsonDir, "account.json"), ctx.Rec); err != nil {
+			return err
+		}
+		ctx.Rec = nil
+	}
+	fmt.Printf("[account completed in %.1fs]\n\n", time.Since(start).Seconds())
+	return nil
 }
 
 // writeSummary exports every memoized measurement's scalars

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// serveDebug exposes the Go profiler and a Prometheus-style metrics
+// endpoint for the duration of the run, so multi-minute sweeps can be
+// profiled and scraped live:
+//
+//	/debug/pprof/...  net/http/pprof (CPU, heap, goroutines, ...)
+//	/metrics          telemetry.Default() in text exposition format
+//
+// It is wired behind `repro -listen <addr>` and costs nothing when the
+// flag is unset: no listener, no handler, no extra work in the run.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := telemetry.Default().WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: -listen %s: %v\n", addr, err)
+		}
+	}()
+}

@@ -124,6 +124,7 @@ type Lab struct {
 	comp  map[string]*mcc.Compiled
 	sweep map[string][]*cache.System
 	pipes map[string][]*pipeline.Engine
+	acct  map[string]*AccountRun
 }
 
 // NewLab returns an empty measurement harness.
@@ -134,6 +135,7 @@ func NewLab() *Lab {
 		comp:  map[string]*mcc.Compiled{},
 		sweep: map[string][]*cache.System{},
 		pipes: map[string][]*pipeline.Engine{},
+		acct:  map[string]*AccountRun{},
 	}
 }
 
@@ -312,6 +314,82 @@ func (l *Lab) PipelineRun(b *bench.Benchmark, spec *isa.Spec, cfgs []pipeline.Co
 	}
 	l.pipes[k] = engines
 	return engines, nil
+}
+
+// AccountRun is one cycle-accounted execution: engines with per-PC
+// attribution enabled (one per requested memory configuration, all fed
+// by a single run) plus the symbol table to fold attributions per
+// function.
+type AccountRun struct {
+	Engines []*pipeline.Engine
+	Syms    *sim.SymTable
+}
+
+// Account executes one benchmark with cycle-accounting engines attached
+// (per-PC attribution on) and returns them with the image's symbol
+// table. Results are memoized per (benchmark, spec, config-set); cached
+// configurations build a fresh cache.System per engine from CacheBytes.
+func (l *Lab) Account(b *bench.Benchmark, spec *isa.Spec, cfgs []AccountConfig) (*AccountRun, error) {
+	k := "acct|" + key(b, spec)
+	for _, c := range cfgs {
+		k += fmt.Sprintf("|%d/%d/%v/%d/%d", c.BusBytes, c.WaitStates, c.SharedPort, c.CacheBytes, c.MissPenalty)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r, ok := l.acct[k]; ok {
+		return r, nil
+	}
+	span := telemetry.StartSpan("account-run",
+		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
+	defer span.End()
+	c, err := l.compileLocked(b, spec)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := sim.New(c.Image)
+	if err != nil {
+		return nil, err
+	}
+	run := &AccountRun{Syms: sim.NewSymTable(c.Image)}
+	for _, ac := range cfgs {
+		pc := pipeline.Config{
+			BusBytes:    ac.BusBytes,
+			WaitStates:  ac.WaitStates,
+			SharedPort:  ac.SharedPort,
+			MissPenalty: ac.MissPenalty,
+		}
+		if ac.CacheBytes > 0 {
+			sys, err := cache.NewSystem(cache.PaperConfig(ac.CacheBytes), cache.PaperConfig(ac.CacheBytes))
+			if err != nil {
+				return nil, err
+			}
+			pc.Caches = sys
+		}
+		e := pipeline.New(pc)
+		e.EnablePCAccounting()
+		run.Engines = append(run.Engines, e)
+		machine.Attach(e)
+	}
+	rspan := telemetry.StartSpan("run",
+		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
+	err = machine.Run(b.MaxInstrs)
+	rspan.End()
+	if err != nil {
+		return nil, fmt.Errorf("core: account run %s on %s: %w", b.Name, spec, err)
+	}
+	l.acct[k] = run
+	return run, nil
+}
+
+// AccountConfig describes one accounted memory configuration by value
+// (so it can key the memoization map); CacheBytes > 0 selects the
+// cached interface with the paper's cache organization.
+type AccountConfig struct {
+	BusBytes    uint32
+	WaitStates  int64
+	SharedPort  bool
+	CacheBytes  uint32
+	MissPenalty int64
 }
 
 // Measurements returns every memoized measurement, sorted by benchmark

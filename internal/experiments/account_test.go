@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// TestAccountReport runs the cycle-accounting report on a slice of the
+// suite and checks the tables carry the paper's story: attribution
+// totals are exact, and D16 fetches fewer instruction bytes than DLXe.
+func TestAccountReport(t *testing.T) {
+	var out strings.Builder
+	ctx := &Ctx{
+		Lab: core.NewLab(),
+		W:   &out,
+		Rec: telemetry.NewExperimentResult("account", "test"),
+	}
+	benches := []*bench.Benchmark{bench.ByName("queens"), bench.ByName("towers")}
+	for _, b := range benches {
+		if b == nil {
+			t.Fatal("test benchmark missing from suite")
+		}
+	}
+	if err := accountBenches(ctx, benches); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per bench: one breakdown table + one differential table, plus the
+	// suite summary.
+	if got, want := len(ctx.Rec.Tables), 2*len(benches)+1; got != want {
+		t.Fatalf("recorded %d tables, want %d", got, want)
+	}
+
+	// Breakdown tables end in an exact total row; cell strings are the
+	// integers the engines reported (spot-check per-column sums).
+	for _, bt := range []*telemetry.Table{ctx.Rec.Tables[0], ctx.Rec.Tables[2]} {
+		last := bt.Rows[len(bt.Rows)-1]
+		if last[0] != "total" {
+			t.Fatalf("breakdown table does not end with total row: %v", last)
+		}
+		for col := 1; col < len(bt.Header); col += 2 {
+			var sum int64
+			for _, row := range bt.Rows[:len(bt.Rows)-1] {
+				v, err := strconv.ParseInt(row[col], 10, 64)
+				if err != nil {
+					t.Fatalf("non-integer cycle cell %q: %v", row[col], err)
+				}
+				sum += v
+			}
+			total, _ := strconv.ParseInt(last[col], 10, 64)
+			if sum != total {
+				t.Errorf("%s column %s: bucket cells sum to %d, total row says %d",
+					bt.Caption, bt.Header[col], sum, total)
+			}
+		}
+	}
+
+	// The suite summary's byte ratio carries the density story.
+	sum := ctx.Rec.Tables[len(ctx.Rec.Tables)-1]
+	for _, row := range sum.Rows {
+		if row[0] == "AVERAGE" {
+			continue
+		}
+		d16B, _ := strconv.ParseInt(row[4], 10, 64)
+		dlxeB, _ := strconv.ParseInt(row[5], 10, 64)
+		if d16B <= 0 || dlxeB <= 0 || d16B >= dlxeB {
+			t.Errorf("%s: D16 should fetch fewer instruction bytes (%d vs %d)",
+				row[0], d16B, dlxeB)
+		}
+	}
+
+	// The text rendering includes the differential report.
+	if !strings.Contains(out.String(), "per-function differential") {
+		t.Error("differential report missing from text output")
+	}
+}

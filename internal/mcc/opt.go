@@ -1,6 +1,8 @@
 package mcc
 
 import (
+	"sort"
+
 	"repro/internal/isa"
 )
 
@@ -661,8 +663,16 @@ func Hoist(f *IRFunc, spec *isa.Spec, layout map[string]int32) {
 		if !ok || pre.Term() == nil {
 			continue
 		}
-		var hoisted []Ins
+		// Member IDs in sorted order: hoisted instructions must land in
+		// the preheader in a run-independent order or downstream vreg
+		// numbering (and with it allocation) becomes nondeterministic.
+		ids := make([]int, 0, len(loop.Blocks))
 		for id := range loop.Blocks {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		var hoisted []Ins
+		for _, id := range ids {
 			b, ok := byID[id]
 			if !ok {
 				continue

@@ -1,0 +1,242 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Bucket is one cause a simulated cycle can be attributed to. Every
+// cycle the engine charges lands in exactly one bucket, so the bucket
+// sums reconstruct Engine.Cycles() exactly (the accounting invariant
+// the property tests pin down).
+type Bucket int
+
+const (
+	// BUseful is the one issue cycle every instruction costs at peak.
+	BUseful Bucket = iota
+	// BLoadDelay is operand stall in the architectural load delay slot
+	// (the LatLoad window, independent of memory-system timing).
+	BLoadDelay
+	// BFPU is operand stall on multi-cycle FPU results, converts, and
+	// FPSR reads behind FP compares.
+	BFPU
+	// BFetchWait is instruction-fetch wait states on buffer refills
+	// (cacheless memory latency on the instruction side).
+	BFetchWait
+	// BDataWait is data-memory wait states surfaced through load-use
+	// dependences (latency beyond the architectural delay slot).
+	BDataWait
+	// BPortContention is time lost waiting for a busy memory port, on
+	// either the instruction or the data side (the structural hazard
+	// the paper's closed-form estimate ignores).
+	BPortContention
+	// BCacheMiss is miss-penalty time when a cache system is attached
+	// (it replaces BFetchWait/BDataWait on cached engines).
+	BCacheMiss
+	// BDrain is the constant pipeline fill/drain tail.
+	BDrain
+
+	NumBuckets int = iota
+)
+
+// bucketNames are the stable exported identifiers (metrics suffixes,
+// JSON part names, table rows).
+var bucketNames = [NumBuckets]string{
+	"useful", "load_delay", "fpu", "ifetch_wait", "dmem_wait",
+	"port_contention", "cache_miss", "drain",
+}
+
+// String returns the bucket's stable identifier.
+func (b Bucket) String() string {
+	if b < 0 || int(b) >= NumBuckets {
+		return fmt.Sprintf("bucket(%d)", int(b))
+	}
+	return bucketNames[b]
+}
+
+// Breakdown is a full cycle attribution: one count per bucket.
+type Breakdown [NumBuckets]int64
+
+// Sum returns total attributed cycles.
+func (bd Breakdown) Sum() int64 {
+	var s int64
+	for _, v := range bd {
+		s += v
+	}
+	return s
+}
+
+// Snapshot converts the attribution to the telemetry exchange type;
+// the embedded total is the bucket sum, so Check() always passes.
+func (bd Breakdown) Snapshot(name string) *telemetry.Breakdown {
+	out := telemetry.NewBreakdown(name, bd.Sum())
+	for b := 0; b < NumBuckets; b++ {
+		out.Add(Bucket(b).String(), bd[b])
+	}
+	return out
+}
+
+// Breakdown returns the engine's global cycle attribution; its sum
+// equals Cycles() exactly.
+func (e *Engine) Breakdown() Breakdown {
+	bd := e.buckets
+	if e.Instrs > 0 {
+		bd[BDrain] = DrainCycles
+	}
+	return bd
+}
+
+// charge attributes n cycles at pc to bucket b.
+func (e *Engine) charge(pc uint32, b Bucket, n int64) {
+	if n == 0 {
+		return
+	}
+	e.buckets[b] += n
+	if e.perPC != nil {
+		e.pcRow(pc)[b] += n
+	}
+}
+
+// pcRow returns the per-PC accounting row for pc, growing the table on
+// demand. Rows are indexed by half-words from the text base so one
+// table shape serves both encodings.
+func (e *Engine) pcRow(pc uint32) *Breakdown {
+	i := int(pc-isa.TextBase) / 2
+	if i >= len(e.perPC) {
+		grown := make([]Breakdown, i+1)
+		copy(grown, e.perPC)
+		e.perPC = grown
+		fg := make([]int64, i+1)
+		copy(fg, e.perPCFetch)
+		e.perPCFetch = fg
+	}
+	return &e.perPC[i]
+}
+
+// EnablePCAccounting turns on per-PC cycle attribution (and per-PC
+// fetch-transfer counting). Call before the run; the global breakdown
+// is always maintained regardless.
+func (e *Engine) EnablePCAccounting() {
+	if e.perPC == nil {
+		e.perPC = make([]Breakdown, 0, 1024)
+		e.perPCFetch = make([]int64, 0, 1024)
+	}
+}
+
+// FetchBytes returns the instruction bytes moved over the memory bus:
+// bus-width transfers per fetch-buffer refill (cacheless) or per
+// instruction-cache miss (cached engines).
+func (e *Engine) FetchBytes() int64 { return e.fetchXfers * int64(e.cfg.BusBytes) }
+
+// PCAccount is one per-PC attribution row.
+type PCAccount struct {
+	PC         uint32
+	Buckets    Breakdown
+	FetchBytes int64
+}
+
+// PerPC returns the non-empty per-PC rows in ascending address order.
+// The drain bucket is global only: the per-PC bucket sums plus
+// DrainCycles reconstruct Cycles().
+func (e *Engine) PerPC() []PCAccount {
+	var out []PCAccount
+	for i := range e.perPC {
+		if e.perPC[i] == (Breakdown{}) && e.perPCFetch[i] == 0 {
+			continue
+		}
+		out = append(out, PCAccount{
+			PC:         isa.TextBase + uint32(i)*2,
+			Buckets:    e.perPC[i],
+			FetchBytes: e.perPCFetch[i] * int64(e.cfg.BusBytes),
+		})
+	}
+	return out
+}
+
+// FuncAccount aggregates attribution over one function symbol.
+type FuncAccount struct {
+	Name       string
+	Buckets    Breakdown
+	Cycles     int64 // bucket sum for the function
+	FetchBytes int64
+}
+
+// PerFunc folds the per-PC table over a symbol table (the same
+// machinery sim.Profile uses), sorted by cycles descending then name.
+// Requires EnablePCAccounting before the run.
+func (e *Engine) PerFunc(st *sim.SymTable) []FuncAccount {
+	byIdx := map[int]*FuncAccount{}
+	for _, row := range e.PerPC() {
+		i := st.Index(row.PC)
+		fa := byIdx[i]
+		if fa == nil {
+			fa = &FuncAccount{Name: st.Name(i)}
+			byIdx[i] = fa
+		}
+		for b := 0; b < NumBuckets; b++ {
+			fa.Buckets[b] += row.Buckets[b]
+		}
+		fa.FetchBytes += row.FetchBytes
+	}
+	out := make([]FuncAccount, 0, len(byIdx))
+	for _, fa := range byIdx {
+		fa.Cycles = fa.Buckets.Sum()
+		out = append(out, *fa)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// RegisterMetrics publishes the engine's counters and per-bucket cycle
+// attribution as live func gauges under prefix (e.g. "pipe.d16.").
+func (e *Engine) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.RegisterFunc(prefix+"instrs", func() int64 { return e.Instrs })
+	reg.RegisterFunc(prefix+"fetch_requests", func() int64 { return e.FetchRequests })
+	reg.RegisterFunc(prefix+"data_requests", func() int64 { return e.DataRequests })
+	reg.RegisterFunc(prefix+"fetch_bytes", e.FetchBytes)
+	reg.RegisterFunc(prefix+"cycles", e.Cycles)
+	for b := 0; b < NumBuckets; b++ {
+		b := Bucket(b)
+		reg.RegisterFunc(prefix+"cycles."+b.String(), func() int64 { return e.Breakdown()[b] })
+	}
+}
+
+// WriteBreakdown renders one or more engines' attributions side by side
+// as an aligned text table (the shared rendering for mcrun -account and
+// ad-hoc dumps; repro uses the experiment table machinery instead).
+func WriteBreakdown(w io.Writer, names []string, bds []Breakdown) {
+	fmt.Fprintf(w, "%-16s", "bucket")
+	for _, n := range names {
+		fmt.Fprintf(w, "  %12s  %6s", n, "%")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 16+len(names)*22))
+	for b := 0; b < NumBuckets; b++ {
+		fmt.Fprintf(w, "%-16s", Bucket(b).String())
+		for _, bd := range bds {
+			total := bd.Sum()
+			pc := 0.0
+			if total > 0 {
+				pc = 100 * float64(bd[b]) / float64(total)
+			}
+			fmt.Fprintf(w, "  %12d  %6.2f", bd[b], pc)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-16s", "total")
+	for _, bd := range bds {
+		fmt.Fprintf(w, "  %12d  %6.2f", bd.Sum(), 100.0)
+	}
+	fmt.Fprintln(w)
+}

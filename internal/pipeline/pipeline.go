@@ -15,12 +15,24 @@
 // requests. Attach an Engine to a sim.Machine and compare Engine.Cycles
 // with the memsys formula (the ablate-model experiment does exactly
 // this).
+//
+// Beyond the totals, the engine attributes every cycle it charges to a
+// cause bucket (see Bucket in account.go) with an exact invariant —
+// the buckets sum to Cycles() — globally, per PC, and per function.
+// Setting Config.Caches puts a split I/D cache pair in front of the
+// memory interface, turning wait-state charges into per-miss penalty
+// charges attributed to the cache-miss bucket.
 package pipeline
 
 import (
+	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/sim"
 )
+
+// DrainCycles is the constant pipeline fill/drain tail added to the
+// last instruction's issue cycle (WB of the last instruction).
+const DrainCycles = 4
 
 // Config fixes the memory interface.
 type Config struct {
@@ -33,6 +45,26 @@ type Config struct {
 	// ignores); the default models separate instruction and data paths,
 	// matching the formula's assumptions.
 	SharedPort bool
+	// Caches, when non-nil, interposes a split I/D cache pair: fetch
+	// buffer refills and data accesses probe the caches, hits cost no
+	// wait cycles, and misses cost MissPenalty bus cycles (replacing
+	// the flat WaitStates charge). Literal-pool loads probe the
+	// instruction cache, mirroring cache.System's routing.
+	Caches *cache.System
+	// MissPenalty is the per-miss wait in cycles when Caches is set.
+	MissPenalty int64
+}
+
+// regMeta decomposes one register's readiness window for attribution:
+// the producer makes the value architecturally available at base
+// (issue + result latency); con port-contention cycles and lat
+// memory-latency cycles may push actual readiness past that.
+type regMeta struct {
+	base      int64
+	con       int64
+	lat       int64
+	cause     Bucket // base-window stall cause: BLoadDelay or BFPU
+	latBucket Bucket // latency-window stall cause: BDataWait or BCacheMiss
 }
 
 // Engine is the cycle-level model; it implements sim.Observer.
@@ -47,7 +79,19 @@ type Engine struct {
 	bufOK   bool
 
 	ready     [64]int64 // operand availability per register
+	meta      [64]regMeta
 	fpsrReady int64
+
+	// pendAddr is the data address of the load/store currently being
+	// executed (the Machine notifies Load/Store before Exec).
+	pendAddr uint32
+	pendOK   bool
+
+	// Cycle attribution (see account.go).
+	buckets    Breakdown
+	perPC      []Breakdown // nil until EnablePCAccounting
+	perPCFetch []int64
+	fetchXfers int64 // bus transfers on the instruction side
 
 	// Counters.
 	Instrs        int64
@@ -69,38 +113,73 @@ var _ sim.Observer = (*Engine)(nil)
 // instruction.
 func (e *Engine) Exec(pc uint32, in isa.Instr) {
 	e.Instrs++
+	e.charge(pc, BUseful, 1)
 	issue := e.clock + 1
 
 	// Instruction fetch: a miss in the one-block fetch buffer is a memory
-	// request; the instruction cannot issue before the word arrives.
+	// request; the instruction cannot issue before the word arrives. With
+	// caches, only an I-cache miss goes to memory.
 	block := pc &^ (e.cfg.BusBytes - 1)
 	if !e.bufOK || block != e.bufAddr {
 		e.FetchRequests++
-		start := max64(e.iBusFree, issue)
-		done := start + e.cfg.WaitStates
-		e.iBusFree = done + 1
-		if e.cfg.SharedPort {
-			e.dBusFree = e.iBusFree
+		toMem, cost, bucket := true, e.cfg.WaitStates, BFetchWait
+		if e.cfg.Caches != nil {
+			toMem, cost, bucket = e.cfg.Caches.I.Read(block), e.cfg.MissPenalty, BCacheMiss
 		}
-		if done > issue {
-			e.FetchStall += done - issue
-			issue = done
+		if toMem {
+			e.fetchXfers++
+			if e.perPC != nil {
+				e.pcRow(pc)
+				e.perPCFetch[int(pc-isa.TextBase)/2]++
+			}
+			start := max64(e.iBusFree, issue)
+			done := start + cost
+			e.iBusFree = done + 1
+			if e.cfg.SharedPort {
+				e.dBusFree = e.iBusFree
+			}
+			if done > issue {
+				delay := done - issue
+				latPart := min64(delay, cost)
+				e.charge(pc, bucket, latPart)
+				e.charge(pc, BPortContention, delay-latPart)
+				e.FetchStall += delay
+				issue = done
+			}
 		}
 		e.bufAddr, e.bufOK = block, true
 	}
 
-	// Operand interlocks (load delay slots, FPU latencies).
+	// Operand interlocks (load delay slots, FPU latencies). The whole
+	// stall is attributed to the register that releases the instruction
+	// (the latest-ready one), split into its base / contention / latency
+	// windows.
 	preIssue := issue
+	blocking := -1
 	var buf [4]isa.Reg
 	for _, r := range in.Uses(buf[:0]) {
 		if t := e.ready[r]; t > issue {
 			issue = t
+			blocking = int(r)
 		}
 	}
 	if in.Op == isa.RDSR && e.fpsrReady > issue {
 		issue = e.fpsrReady
+		blocking = -2 // FPSR
 	}
-	e.Interlock += issue - preIssue
+	if stall := issue - preIssue; stall > 0 {
+		e.Interlock += stall
+		if blocking == -2 {
+			e.charge(pc, BFPU, stall)
+		} else {
+			m := &e.meta[blocking]
+			latPart := min64(stall, m.lat)
+			conPart := min64(stall-latPart, m.con)
+			e.charge(pc, m.latBucket, latPart)
+			e.charge(pc, BPortContention, conPart)
+			e.charge(pc, m.cause, stall-latPart-conPart)
+		}
+	}
 	e.clock = issue
 
 	// Result latency.
@@ -125,39 +204,71 @@ func (e *Engine) Exec(pc uint32, in isa.Instr) {
 	}
 	if d := in.Def(); d.Valid() && lat > 0 {
 		e.ready[d] = issue + lat
+		// Only multi-cycle producers can induce stalls; they are all FPU
+		// results (converts included). Loads are overwritten below.
+		e.meta[d] = regMeta{base: issue + lat, cause: BFPU, latBucket: BDataWait}
 	}
 	switch {
 	case in.Op.IsLoad():
 		// The MEM-stage access is a memory request through the shared
 		// port; the loaded value is ready when the transfer completes.
-		done := e.dataAccess(issue)
+		done, con, cost, bucket := e.dataAccess(issue, false)
 		if d := in.Def(); d.Valid() {
 			e.ready[d] = done + 1
+			e.meta[d] = regMeta{
+				base:      issue + sim.LatLoad,
+				con:       con,
+				lat:       cost,
+				cause:     BLoadDelay,
+				latBucket: bucket,
+			}
 			e.DataBusStall += done + 1 - (issue + sim.LatLoad)
 		}
 	case in.Op.IsStore():
-		e.dataAccess(issue)
+		e.dataAccess(issue, true)
 	}
+	e.pendOK = false
 }
 
-// Load implements sim.Observer (accounted in Exec via the op class).
-func (e *Engine) Load(addr uint32, size uint32) {}
+// Load implements sim.Observer: it records the access address for the
+// cache probe of the instruction about to be accounted in Exec.
+func (e *Engine) Load(addr uint32, size uint32) { e.pendAddr, e.pendOK = addr, true }
 
-// Store implements sim.Observer (accounted in Exec via the op class).
-func (e *Engine) Store(addr uint32, size uint32) {}
+// Store implements sim.Observer (see Load).
+func (e *Engine) Store(addr uint32, size uint32) { e.pendAddr, e.pendOK = addr, true }
 
 // dataAccess charges one data memory request starting no earlier than
-// the MEM stage of the instruction issued at `issue`; it returns the
-// cycle the transfer completes.
-func (e *Engine) dataAccess(issue int64) int64 {
+// the MEM stage of the instruction issued at `issue`. It returns the
+// cycle the transfer completes plus the attribution decomposition of
+// the window past issue+1: con port-contention cycles, cost latency
+// cycles charged to bucket. Cache hits complete immediately without
+// touching the port.
+func (e *Engine) dataAccess(issue int64, isStore bool) (done, con, cost int64, bucket Bucket) {
 	e.DataRequests++
+	cost, bucket = e.cfg.WaitStates, BDataWait
+	if s := e.cfg.Caches; s != nil {
+		var miss bool
+		switch {
+		case isStore:
+			miss = s.D.Write(e.pendAddr)
+		case e.pendOK && e.pendAddr < isa.DataBase:
+			miss = s.I.Read(e.pendAddr) // literal-pool load, I-stream locality
+		default:
+			miss = s.D.Read(e.pendAddr)
+		}
+		if !miss {
+			return issue + 1, 0, 0, BCacheMiss
+		}
+		cost, bucket = e.cfg.MissPenalty, BCacheMiss
+	}
 	start := max64(e.dBusFree, issue+1)
-	done := start + e.cfg.WaitStates
+	con = start - (issue + 1)
+	done = start + cost
 	e.dBusFree = done + 1
 	if e.cfg.SharedPort {
 		e.iBusFree = e.dBusFree
 	}
-	return done
+	return done, con, cost, bucket
 }
 
 // Cycles returns total cycles including pipeline drain.
@@ -165,7 +276,7 @@ func (e *Engine) Cycles() int64 {
 	if e.Instrs == 0 {
 		return 0
 	}
-	return e.clock + 4 // WB of the last instruction
+	return e.clock + DrainCycles
 }
 
 // CPI returns cycles per instruction.
@@ -178,6 +289,13 @@ func (e *Engine) CPI() float64 {
 
 func max64(a, b int64) int64 {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
 		return a
 	}
 	return b

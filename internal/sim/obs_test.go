@@ -132,7 +132,7 @@ func TestProfileFiltersInternalSymbols(t *testing.T) {
 			t.Errorf("internal symbol %q leaked into the profile", e.Name)
 		}
 	}
-	for _, n := range p.names {
+	for _, n := range p.tab.names {
 		if strings.HasPrefix(n, ".") {
 			t.Errorf("internal symbol %q retained", n)
 		}

@@ -22,12 +22,11 @@ import (
 // register jumps through the link register. The delay-slot instruction
 // after either event is attributed to the function that contains it.
 type Profile struct {
-	names  []string
-	starts []uint32
+	tab    *SymTable
 	counts []int64
 	total  int64
 
-	// Call-stack model. stack holds indices into names; pending counts
+	// Call-stack model. stack holds symbol-table indices; pending counts
 	// down the architectural delay slot after a call/return before the
 	// stack mutates; curKey/batch accumulate folded samples for the
 	// current stack so the hot path touches the map only on stack change.
@@ -42,48 +41,22 @@ type Profile struct {
 
 type edgeKey struct{ caller, callee int }
 
-// NewProfile builds a profiler over an image's text symbols. Assembler-
-// and compiler-internal labels (any dot-prefixed name: ".L..." block and
-// far-branch labels, ".pool"-style literal markers) are excluded; ties
-// between symbols at one address are broken by name so the output is
-// byte-stable across runs.
+// NewProfile builds a profiler over an image's text symbols, with the
+// filtering and deterministic ordering SymTable guarantees.
 func NewProfile(img *prog.Image) *Profile {
-	p := &Profile{folded: map[string]int64{}, edges: map[edgeKey]int64{}}
-	type sym struct {
-		name string
-		addr uint32
+	p := &Profile{
+		tab:    NewSymTable(img),
+		folded: map[string]int64{},
+		edges:  map[edgeKey]int64{},
 	}
-	var syms []sym
-	for name, addr := range img.Symbols {
-		if addr >= isa.TextBase && addr < img.TextEnd() && !strings.HasPrefix(name, ".") {
-			syms = append(syms, sym{name, addr})
-		}
-	}
-	sort.Slice(syms, func(i, j int) bool {
-		if syms[i].addr != syms[j].addr {
-			return syms[i].addr < syms[j].addr
-		}
-		return syms[i].name < syms[j].name
-	})
-	for _, s := range syms {
-		p.names = append(p.names, s.name)
-		p.starts = append(p.starts, s.addr)
-	}
-	p.counts = make([]int64, len(p.names))
+	p.counts = make([]int64, p.tab.Len())
 	return p
 }
 
 // symIndex returns the index of the symbol containing pc, or -1.
-func (p *Profile) symIndex(pc uint32) int {
-	return sort.Search(len(p.starts), func(i int) bool { return p.starts[i] > pc }) - 1
-}
+func (p *Profile) symIndex(pc uint32) int { return p.tab.Index(pc) }
 
-func (p *Profile) symName(i int) string {
-	if i < 0 || i >= len(p.names) {
-		return "?"
-	}
-	return p.names[i]
-}
+func (p *Profile) symName(i int) string { return p.tab.Name(i) }
 
 // Exec implements Observer.
 func (p *Profile) Exec(pc uint32, in isa.Instr) {
@@ -171,7 +144,7 @@ func (p *Profile) Top(n int) []Entry {
 	var out []Entry
 	for i, c := range p.counts {
 		if c > 0 {
-			out = append(out, Entry{p.names[i], c, 100 * float64(c) / float64(p.total)})
+			out = append(out, Entry{p.tab.Name(i), c, 100 * float64(c) / float64(p.total)})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,47 @@
+package telemetry
+
+import "fmt"
+
+// BreakdownPart is one named share of an attributed total.
+type BreakdownPart struct {
+	Name    string  `json:"name"`
+	Value   int64   `json:"value"`
+	Percent float64 `json:"percent"`
+}
+
+// Breakdown is the exchange form of an exhaustive attribution: a total
+// split into named parts that must sum to it exactly. Producers (the
+// pipeline cycle accountant) fill it; writers call Check before export
+// so a leaky attribution can never ship silently.
+type Breakdown struct {
+	Name  string          `json:"name"`
+	Total int64           `json:"total"`
+	Parts []BreakdownPart `json:"parts"`
+}
+
+// NewBreakdown returns an empty attribution of total.
+func NewBreakdown(name string, total int64) *Breakdown {
+	return &Breakdown{Name: name, Total: total}
+}
+
+// Add appends one part; its percentage is derived from the total.
+func (b *Breakdown) Add(name string, value int64) {
+	p := BreakdownPart{Name: name, Value: value}
+	if b.Total != 0 {
+		p.Percent = 100 * float64(value) / float64(b.Total)
+	}
+	b.Parts = append(b.Parts, p)
+}
+
+// Check verifies the parts sum to the total exactly.
+func (b *Breakdown) Check() error {
+	var sum int64
+	for _, p := range b.Parts {
+		sum += p.Value
+	}
+	if sum != b.Total {
+		return fmt.Errorf("telemetry: breakdown %q leaks: parts sum %d != total %d",
+			b.Name, sum, b.Total)
+	}
+	return nil
+}

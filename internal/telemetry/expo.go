@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteProm writes the registry's current state in the Prometheus text
+// exposition format (version 0.0.4), so a long-running sweep can be
+// scraped live through an HTTP /metrics endpoint. Metric names are
+// sanitized to the Prometheus grammar (every character outside
+// [a-zA-Z0-9_:] becomes '_'); counters and gauges expose their value
+// directly, histograms expose cumulative le-labelled buckets plus
+// _sum and _count series.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		name := promName(s.Name)
+		var err error
+		switch s.Kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Value)
+		case "gauge":
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Value)
+		case "histogram":
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			var cum int64
+			for _, b := range s.Hist {
+				cum += b.Count
+				// Our buckets hold v < High; Prometheus le is inclusive,
+				// so the boundary is High-1 (bucket 0 holds v <= 0).
+				le := b.High - 1
+				if b.High == 0 {
+					le = 0
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+				name, s.Count, name, s.Sum, name, s.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry name onto the Prometheus metric grammar.
+func promName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

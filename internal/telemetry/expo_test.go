@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mcc.compiles").Add(3)
+	r.Gauge("sim.instrs").Set(42)
+	h := r.Histogram("mcc.pass.opt.ns")
+	h.Observe(3)
+	h.Observe(900)
+	r.RegisterFunc("live.value", func() int64 { return 7 })
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE mcc_compiles counter\nmcc_compiles 3\n",
+		"# TYPE sim_instrs gauge\nsim_instrs 42\n",
+		"# TYPE live_value gauge\nlive_value 7\n",
+		"# TYPE mcc_pass_opt_ns histogram\n",
+		"mcc_pass_opt_ns_bucket{le=\"3\"} 1\n",
+		"mcc_pass_opt_ns_bucket{le=\"1023\"} 2\n",
+		"mcc_pass_opt_ns_bucket{le=\"+Inf\"} 2\n",
+		"mcc_pass_opt_ns_sum 903\n",
+		"mcc_pass_opt_ns_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"mcc.pass.opt-2.ns": "mcc_pass_opt_2_ns",
+		"plain":             "plain",
+		"9lead":             "_lead",
+		"a:b_c9":            "a:b_c9",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBreakdownCheck(t *testing.T) {
+	b := NewBreakdown("cycles", 10)
+	b.Add("useful", 6)
+	b.Add("stall", 4)
+	if err := b.Check(); err != nil {
+		t.Errorf("exact breakdown failed: %v", err)
+	}
+	if b.Parts[0].Percent != 60 {
+		t.Errorf("percent = %v, want 60", b.Parts[0].Percent)
+	}
+	b.Add("leak", 1)
+	if err := b.Check(); err == nil {
+		t.Error("leaky breakdown passed Check")
+	}
+}
