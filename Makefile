@@ -6,9 +6,9 @@
 TMP := /tmp/repro-make
 BIN := $(TMP)/bin
 
-.PHONY: check build test vet smoke determinism bench clean
+.PHONY: check build test vet smoke determinism serve-smoke bench clean
 
-check: vet build test smoke determinism
+check: vet build test smoke determinism serve-smoke
 
 vet:
 	go vet ./...
@@ -27,21 +27,38 @@ $(BIN)/perfgate: build
 	@mkdir -p $(BIN)
 	go build -o $@ ./cmd/perfgate
 
+$(BIN)/simd: build
+	@mkdir -p $(BIN)
+	go build -o $@ ./cmd/simd
+
 # End-to-end smoke: one experiment with structured output attached.
 smoke: $(BIN)/repro
 	$(BIN)/repro -run fig4 -json $(TMP)/smoke >/dev/null
 	@test -s $(TMP)/smoke/fig4.json && echo "smoke ok: $(TMP)/smoke/fig4.json"
 
-# Determinism guard: the same experiment run twice must produce
-# byte-identical structured output (-timing=false strips the only
-# wall-clock field; metrics.json is excluded — it holds timing
+# Determinism guard: the same experiment run twice — once sequentially,
+# once in parallel through the job scheduler — must produce
+# byte-identical stdout and structured output (-timing=false strips the
+# only wall-clock field; metrics.json is excluded — it holds timing
 # histograms by design).
 determinism: $(BIN)/repro
-	$(BIN)/repro -run fig4 -json $(TMP)/det-a -timing=false >/dev/null
-	$(BIN)/repro -run fig4 -json $(TMP)/det-b -timing=false >/dev/null
+	$(BIN)/repro -run fig4 -json $(TMP)/det-a -timing=false > $(TMP)/det-a.out
+	$(BIN)/repro -run fig4 -json $(TMP)/det-b -timing=false > $(TMP)/det-b.out
+	$(BIN)/repro -run fig4 -json $(TMP)/det-j8 -timing=false -jobs 8 > $(TMP)/det-j8.out
+	cmp $(TMP)/det-a.out $(TMP)/det-b.out
 	cmp $(TMP)/det-a/fig4.json $(TMP)/det-b/fig4.json
 	cmp $(TMP)/det-a/summary.json $(TMP)/det-b/summary.json
-	@echo "determinism ok: fig4.json and summary.json byte-identical"
+	cmp $(TMP)/det-a.out $(TMP)/det-j8.out
+	cmp $(TMP)/det-a/fig4.json $(TMP)/det-j8/fig4.json
+	cmp $(TMP)/det-a/summary.json $(TMP)/det-j8/summary.json
+	@echo "determinism ok: -jobs 1 and -jobs 8 byte-identical"
+
+# Service smoke: boot simd, hit /healthz, run the same one-point batch
+# twice (the repeat must be served from the result cache with an
+# identical body), check /metrics shows the hit, then shut down
+# gracefully with SIGTERM.
+serve-smoke: $(BIN)/simd
+	@sh scripts/serve_smoke.sh $(BIN)/simd $(TMP)/serve-smoke
 
 # Continuous benchmarks: writes BENCH_<n>.json at the repo root and
 # fails on >10% regressions against the previous BENCH file.

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -68,7 +69,7 @@ func main() {
 	case "dlxe":
 		spec = isa.DLXe()
 	default:
-		fmt.Fprintln(os.Stderr, "unknown target", *target)
+		fmt.Fprintf(os.Stderr, "mcrun: unknown target %q\nvalid targets: d16, dlxe\n", *target)
 		os.Exit(2)
 	}
 	if *regs > 0 {
@@ -83,7 +84,12 @@ func main() {
 	case *benchName != "":
 		b := bench.ByName(*benchName)
 		if b == nil {
-			fmt.Fprintln(os.Stderr, "unknown benchmark", *benchName)
+			var names []string
+			for _, kb := range bench.All() {
+				names = append(names, kb.Name)
+			}
+			fmt.Fprintf(os.Stderr, "mcrun: unknown benchmark %q\nvalid benchmarks: %s\n",
+				*benchName, strings.Join(names, ", "))
 			os.Exit(2)
 		}
 		name, src = b.Name+".mc", b.Source

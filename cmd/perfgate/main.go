@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/isa"
+	"repro/internal/jobs"
 	"repro/internal/mcc"
 	"repro/internal/sim"
 )
@@ -79,6 +81,22 @@ func main() {
 				}
 			}
 		})
+		if err != nil {
+			fatal(err)
+		}
+		cur.Benchmarks = append(cur.Benchmarks, r)
+	}
+	for _, jb := range []struct {
+		name    string
+		workers int
+	}{
+		{"suite/fig4/jobs=1", 1},
+		{"suite/fig4/jobs=ncpu", runtime.NumCPU()},
+	} {
+		if !sel.MatchString(jb.name) {
+			continue
+		}
+		r, err := benchSuiteFig4(jb.name, jb.workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -133,6 +151,39 @@ func run(name string, fn func(*testing.B)) (Result, error) {
 		AllocsPerOp: float64(r.AllocsPerOp()),
 		BytesPerOp:  float64(r.AllocedBytesPerOp()),
 	}, nil
+}
+
+// benchSuiteFig4 times the fig4 suite end to end — compiles included,
+// on a cold lab each iteration — the way `repro -run fig4 -jobs N` runs
+// it. jobs=1 uses the inline scheduler (the sequential path); jobs=ncpu
+// uses a worker pool sized to the machine, so the pair exposes the
+// scheduler's wall-clock win (or, on one core, its overhead).
+func benchSuiteFig4(name string, workers int) (Result, error) {
+	exp := experiments.ByID("fig4")
+	if exp == nil {
+		return Result{}, fmt.Errorf("%s: experiment fig4 missing", name)
+	}
+	return run(name, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var lab *core.Lab
+			if workers > 1 {
+				lab = core.NewLabWith(jobs.New(jobs.Config{
+					Workers:    workers,
+					QueueDepth: 4*workers + 64,
+				}))
+			} else {
+				lab = core.NewLab()
+			}
+			ctx := &experiments.Ctx{Lab: lab, W: io.Discard}
+			if err := exp.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+			if err := lab.Scheduler().Shutdown(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // benchSimThroughput measures raw simulator speed — simulated

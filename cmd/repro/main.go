@@ -18,15 +18,23 @@
 //	                                # differential D16-vs-DLXe report
 //	repro -listen :6060             # serve /debug/pprof and /metrics
 //	                                # (Prometheus text format) during the run
-//	repro ... -timing=false         # omit wall-clock stamps from JSON so
-//	                                # repeated runs are byte-identical
+//	repro ... -timing=false         # omit wall-clock stamps from JSON and
+//	                                # stdout so repeated runs are
+//	                                # byte-identical
+//	repro -jobs 8                   # run experiments concurrently on an
+//	                                # 8-worker simulation scheduler; output
+//	                                # is assembled in submission order and
+//	                                # stays byte-identical to -jobs 1
 //
-// See docs/OBSERVABILITY.md for the file formats.
+// See docs/OBSERVABILITY.md for the file formats and docs/SERVICE.md
+// for the scheduler the parallel mode runs on.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -45,6 +53,7 @@ func main() {
 	account := flag.Bool("account", false, "run the cycle-accounting report (bucket breakdowns + differential D16/DLXe per-function report) instead of experiments")
 	listen := flag.String("listen", "", "serve /debug/pprof and /metrics on this address for the duration of the run")
 	timing := flag.Bool("timing", true, "stamp elapsed wall-clock seconds into per-experiment JSON (disable for byte-identical reruns)")
+	jobsN := flag.Int("jobs", 1, "simulation workers; >1 runs experiments concurrently through the job scheduler, with output assembled in deterministic submission order")
 	flag.Parse()
 
 	if *listen != "" {
@@ -65,7 +74,8 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			e := experiments.ByID(strings.TrimSpace(id))
 			if e == nil {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				fmt.Fprintf(os.Stderr, "repro: unknown experiment %q\nvalid experiments: %s\n",
+					id, strings.Join(experimentIDs(), ", "))
 				os.Exit(2)
 			}
 			todo = append(todo, e)
@@ -82,7 +92,13 @@ func main() {
 		}
 	}
 
-	ctx := &experiments.Ctx{Lab: core.NewLab(), W: os.Stdout}
+	var lab *core.Lab
+	if *jobsN > 1 {
+		lab = core.NewParallelLab(*jobsN)
+	} else {
+		lab = core.NewLab()
+	}
+	ctx := &experiments.Ctx{Lab: lab, W: os.Stdout}
 
 	if *account {
 		if err := runAccount(ctx, *jsonDir, *timing); err != nil {
@@ -97,34 +113,51 @@ func main() {
 		}
 		return
 	}
-	for _, e := range todo {
-		start := time.Now()
-		if *jsonDir != "" {
-			ctx.Rec = telemetry.NewExperimentResult(e.ID, e.Title)
+
+	outs := make([]*expOutput, len(todo))
+	if *jobsN > 1 {
+		// Every experiment runs on its own goroutine against the shared
+		// lab: heavy work (the simulations) lands on the scheduler's
+		// worker pool, identical points coalesce, and the cheap table
+		// rendering happens concurrently into per-experiment buffers.
+		// Draining the buffers in submission order makes stdout and the
+		// JSON files byte-identical to a sequential run.
+		for i, e := range todo {
+			outs[i] = newExpOutput()
+			go runExperiment(lab, e, *jsonDir != "", outs[i])
 		}
-		fmt.Printf("==============================================================\n")
-		fmt.Printf("%s — %s\n", e.ID, e.Title)
-		fmt.Printf("==============================================================\n")
-		span := telemetry.StartSpan("experiment", telemetry.String("id", e.ID))
-		err := e.Run(ctx)
-		span.End()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+	}
+	for i, e := range todo {
+		if outs[i] == nil {
+			outs[i] = newExpOutput()
+			runExperiment(lab, e, *jsonDir != "", outs[i])
+		}
+		o := outs[i]
+		<-o.done
+		printHeader(os.Stdout, e)
+		if _, err := io.Copy(os.Stdout, &o.buf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		elapsed := time.Since(start)
-		if ctx.Rec != nil {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, o.err)
+			os.Exit(1)
+		}
+		if o.rec != nil {
 			if *timing {
-				ctx.Rec.ElapsedSec = elapsed.Seconds()
+				o.rec.ElapsedSec = o.elapsed.Seconds()
 			}
 			path := filepath.Join(*jsonDir, e.ID+".json")
-			if err := telemetry.WriteJSONFile(path, ctx.Rec); err != nil {
+			if err := telemetry.WriteJSONFile(path, o.rec); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 				os.Exit(1)
 			}
-			ctx.Rec = nil
 		}
-		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, elapsed.Seconds())
+		if *timing {
+			fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, o.elapsed.Seconds())
+		} else {
+			fmt.Printf("[%s completed]\n\n", e.ID)
+		}
 	}
 
 	if *jsonDir != "" {
@@ -139,6 +172,52 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// expOutput collects one experiment's rendered tables, structured
+// record and outcome; done is closed when the experiment finishes.
+type expOutput struct {
+	buf     bytes.Buffer
+	rec     *telemetry.ExperimentResult
+	err     error
+	elapsed time.Duration
+	done    chan struct{}
+}
+
+func newExpOutput() *expOutput { return &expOutput{done: make(chan struct{})} }
+
+// runExperiment executes one experiment into its output buffer. It is
+// safe to call from concurrent goroutines: each experiment gets its own
+// Ctx, and all shared state sits behind the lab's scheduler.
+func runExperiment(lab *core.Lab, e *experiments.Experiment, record bool, o *expOutput) {
+	defer close(o.done)
+	start := time.Now()
+	ctx := &experiments.Ctx{Lab: lab, W: &o.buf}
+	if record {
+		ctx.Rec = telemetry.NewExperimentResult(e.ID, e.Title)
+	}
+	span := telemetry.StartSpan("experiment", telemetry.String("id", e.ID))
+	o.err = e.Run(ctx)
+	span.End()
+	o.elapsed = time.Since(start)
+	if o.err == nil && record {
+		o.rec = ctx.Rec
+	}
+}
+
+func printHeader(w io.Writer, e *experiments.Experiment) {
+	fmt.Fprintf(w, "==============================================================\n")
+	fmt.Fprintf(w, "%s — %s\n", e.ID, e.Title)
+	fmt.Fprintf(w, "==============================================================\n")
+}
+
+// experimentIDs returns every registered experiment ID in paper order.
+func experimentIDs() []string {
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
 }
 
 // runAccount runs the cycle-accounting report, optionally recording its
@@ -167,7 +246,11 @@ func runAccount(ctx *experiments.Ctx, jsonDir string, timing bool) error {
 		}
 		ctx.Rec = nil
 	}
-	fmt.Printf("[account completed in %.1fs]\n\n", time.Since(start).Seconds())
+	if timing {
+		fmt.Printf("[account completed in %.1fs]\n\n", time.Since(start).Seconds())
+	} else {
+		fmt.Printf("[account completed]\n\n")
+	}
 	return nil
 }
 

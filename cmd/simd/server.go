@@ -1,0 +1,252 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/jobs"
+	"repro/internal/telemetry"
+)
+
+// maxBatchPoints bounds one request; bigger sweeps should be split so
+// backpressure applies between slices.
+const maxBatchPoints = 256
+
+// batchRequest is the body of POST /v1/batch: a list of named points,
+// each either a benchmark×configuration measurement or a whole
+// experiment from the paper's evaluation.
+type batchRequest struct {
+	Points []point `json:"points"`
+}
+
+type point struct {
+	// Name is an optional caller-chosen label echoed in the result.
+	Name string `json:"name,omitempty"`
+	// Bench plus Config selects one measurement point.
+	Bench  string `json:"bench,omitempty"`
+	Config string `json:"config,omitempty"`
+	// Experiment selects one registered experiment by ID (e.g. "fig4").
+	Experiment string `json:"experiment,omitempty"`
+}
+
+type pointResult struct {
+	Name       string `json:"name,omitempty"`
+	Bench      string `json:"bench,omitempty"`
+	Config     string `json:"config,omitempty"`
+	Experiment string `json:"experiment,omitempty"`
+	// Summary carries a measurement point's scalar results.
+	Summary *core.SummaryRow `json:"summary,omitempty"`
+	// Tables carries an experiment point's rendered tables.
+	Tables *telemetry.ExperimentResult `json:"tables,omitempty"`
+	Error  string                      `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []pointResult `json:"results"`
+}
+
+// server is the HTTP face of the simulation lab. Handlers are safe for
+// concurrent use: all shared state lives behind the lab's scheduler.
+type server struct {
+	lab *core.Lab
+	reg *telemetry.Registry
+}
+
+func newServer(lab *core.Lab, reg *telemetry.Registry) *server {
+	return &server{lab: lab, reg: reg}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleBatch submits every point before waiting on any, so one batch
+// fans out across the scheduler's workers; results come back in request
+// order regardless of completion order, so equal requests get
+// byte-equal responses (repeats are served from the result cache). A
+// full queue rejects the whole batch with 503 — callers retry, which is
+// the backpressure contract.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req batchRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Points) == 0 {
+		http.Error(w, "bad request: empty points", http.StatusBadRequest)
+		return
+	}
+	if len(req.Points) > maxBatchPoints {
+		http.Error(w, fmt.Sprintf("bad request: %d points exceeds the %d-point batch limit",
+			len(req.Points), maxBatchPoints), http.StatusBadRequest)
+		return
+	}
+
+	// Phase 1: validate and submit. Measurement points become scheduler
+	// tickets; experiment points run in phase 2 on this goroutine (they
+	// submit their own simulation jobs internally and must not occupy a
+	// worker themselves).
+	tickets := make([]*jobs.Ticket, len(req.Points))
+	results := make([]pointResult, len(req.Points))
+	for i, p := range req.Points {
+		results[i] = pointResult{Name: p.Name, Bench: p.Bench, Config: p.Config, Experiment: p.Experiment}
+		res := &results[i]
+		switch {
+		case p.Experiment != "" && p.Bench == "":
+			if experiments.ByID(p.Experiment) == nil {
+				res.Error = fmt.Sprintf("unknown experiment %q (valid: %s)",
+					p.Experiment, strings.Join(experimentIDs(), ", "))
+			}
+		case p.Bench != "" && p.Experiment == "":
+			b := bench.ByName(p.Bench)
+			if b == nil {
+				res.Error = fmt.Sprintf("unknown bench %q (valid: %s)",
+					p.Bench, strings.Join(benchNames(), ", "))
+				continue
+			}
+			spec := specByName(p.Config)
+			if spec == nil {
+				res.Error = fmt.Sprintf("unknown config %q (valid: %s)",
+					p.Config, strings.Join(configNames(), ", "))
+				continue
+			}
+			t, err := s.lab.TryMeasureTicket(r.Context(), b, spec)
+			if errors.Is(err, jobs.ErrOverloaded) {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "overloaded: simulation queue full", http.StatusServiceUnavailable)
+				return
+			}
+			if err != nil {
+				res.Error = err.Error()
+				continue
+			}
+			tickets[i] = t
+		default:
+			res.Error = "each point needs either bench+config or experiment"
+		}
+	}
+
+	// Phase 2: collect in request order.
+	for i, p := range req.Points {
+		res := &results[i]
+		switch {
+		case tickets[i] != nil:
+			v, err := tickets[i].Wait(r.Context())
+			if err != nil {
+				res.Error = err.Error()
+				continue
+			}
+			row := v.(*core.Measurement).Summary()
+			res.Summary = &row
+		case p.Experiment != "" && res.Error == "":
+			rec, err := runExperimentPoint(s.lab, p.Experiment)
+			if err != nil {
+				res.Error = err.Error()
+				continue
+			}
+			res.Tables = rec
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(batchResponse{Results: results}); err != nil {
+		// Headers are gone; nothing to do but note it.
+		fmt.Fprintf(io.Discard, "%v", err)
+	}
+}
+
+// runExperimentPoint renders one experiment's tables against the shared
+// lab. The text output is discarded — the recorded tables are cell-for-
+// cell the same strings — and no wall-clock stamp is set, so repeated
+// runs serialize identically.
+func runExperimentPoint(lab *core.Lab, id string) (*telemetry.ExperimentResult, error) {
+	e := experiments.ByID(id)
+	rec := telemetry.NewExperimentResult(e.ID, e.Title)
+	ctx := &experiments.Ctx{Lab: lab, W: io.Discard, Rec: rec}
+	if err := e.Run(ctx); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	sched := s.lab.Scheduler()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"ok":true,"workers":%d,"queue_depth":%d,"cache_entries":%d}`+"\n",
+		sched.Workers(), sched.QueueDepth(), sched.Cache().Len())
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteProm(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// specByName resolves a configuration by its paper column name
+// ("D16/16/2", "DLXe/32/3", ...) or the shorthands "d16" and "dlxe".
+func specByName(name string) *isa.Spec {
+	switch strings.ToLower(name) {
+	case "d16":
+		return isa.D16()
+	case "dlxe":
+		return isa.DLXe()
+	}
+	for _, s := range core.Configs() {
+		if strings.EqualFold(s.Name, name) {
+			return s
+		}
+	}
+	return nil
+}
+
+func configNames() []string {
+	names := []string{"d16", "dlxe"}
+	for _, s := range core.Configs() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+func benchNames() []string {
+	var names []string
+	for _, b := range bench.All() {
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func experimentIDs() []string {
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/telemetry"
+)
+
+// newTestServer builds a server on a private registry so tests can
+// assert on scheduler counters without cross-test interference.
+func newTestServer(t *testing.T, workers int) (*httptest.Server, *jobs.Scheduler) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	sched := jobs.New(jobs.Config{Workers: workers, Registry: reg})
+	lab := core.NewLabWith(sched)
+	ts := httptest.NewServer(newServer(lab, reg).handler())
+	t.Cleanup(ts.Close)
+	return ts, sched
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), `"ok":true`) {
+		t.Fatalf("healthz body: %s", b)
+	}
+}
+
+// TestBatchRepeatHitsCache is the service-level acceptance check: the
+// same batch twice must return byte-identical bodies, with the second
+// serving from the content-addressed cache (hit counter moves, no
+// second simulation runs).
+func TestBatchRepeatHitsCache(t *testing.T) {
+	ts, sched := newTestServer(t, 2)
+	body := `{"points":[
+		{"name":"a","bench":"queens","config":"D16/16/2"},
+		{"name":"b","bench":"queens","config":"DLXe/32/3"}
+	]}`
+
+	code1, got1 := post(t, ts.URL+"/v1/batch", body)
+	if code1 != http.StatusOK {
+		t.Fatalf("first batch: %d %s", code1, got1)
+	}
+	if !strings.Contains(got1, `"bench": "queens"`) || !strings.Contains(got1, `"summary"`) {
+		t.Fatalf("first batch body missing summary: %s", got1)
+	}
+	if strings.Contains(got1, `"error"`) {
+		t.Fatalf("first batch has point errors: %s", got1)
+	}
+	misses := sched.Metrics().CacheMisses.Value()
+	if misses != 2 {
+		t.Fatalf("first batch: %d cache misses, want 2", misses)
+	}
+
+	code2, got2 := post(t, ts.URL+"/v1/batch", body)
+	if code2 != http.StatusOK {
+		t.Fatalf("second batch: %d %s", code2, got2)
+	}
+	if got1 != got2 {
+		t.Fatalf("repeat batch not byte-identical:\nfirst:\n%s\nsecond:\n%s", got1, got2)
+	}
+	if hits := sched.Metrics().CacheHits.Value(); hits != 2 {
+		t.Fatalf("second batch: %d cache hits, want 2", hits)
+	}
+	if m := sched.Metrics().CacheMisses.Value(); m != misses {
+		t.Fatalf("second batch recomputed: misses %d -> %d", misses, m)
+	}
+}
+
+func TestBatchExperimentPoint(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	code, got := post(t, ts.URL+"/v1/batch", `{"points":[{"experiment":"tab9"}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("experiment batch: %d %s", code, got)
+	}
+	if !strings.Contains(got, `"tables"`) || !strings.Contains(got, `"id": "tab9"`) {
+		t.Fatalf("experiment batch missing tables: %s", got)
+	}
+	if strings.Contains(got, `"error"`) {
+		t.Fatalf("experiment batch has errors: %s", got)
+	}
+}
+
+// TestBatchPointErrors checks that bad names fail per-point with the
+// valid names listed, without failing the rest of the batch.
+func TestBatchPointErrors(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	code, got := post(t, ts.URL+"/v1/batch", `{"points":[
+		{"bench":"nope","config":"d16"},
+		{"bench":"queens","config":"nope"},
+		{"experiment":"nope"},
+		{"name":"both","bench":"queens","config":"d16","experiment":"fig4"},
+		{"bench":"queens","config":"dlxe"}
+	]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, got)
+	}
+	for _, want := range []string{
+		`unknown bench \"nope\" (valid: `,
+		"queens",
+		`unknown config \"nope\" (valid: d16, dlxe, D16/16/2`,
+		`unknown experiment \"nope\" (valid: fig4`,
+		"each point needs either bench+config or experiment",
+		`"summary"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("batch body missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestBatchBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+
+	if code, body := post(t, ts.URL+"/v1/batch", `{"points":[`); code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %d %s", code, body)
+	}
+	if code, body := post(t, ts.URL+"/v1/batch", `{"points":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("empty points: %d %s", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/batch: %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	if code, body := post(t, ts.URL+"/v1/batch", `{"points":[{"bench":"queens","config":"d16"}]}`); code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"jobs_submitted 1", "jobs_done 1", "jobs_cache_misses 1"} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, b)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/jobs"
 	"repro/internal/mcc"
 	"repro/internal/memsys"
 	"repro/internal/pipeline"
@@ -116,84 +118,179 @@ func (s *ImmStats) Load(addr uint32, size uint32) {}
 // Store implements sim.Observer.
 func (s *ImmStats) Store(addr uint32, size uint32) {}
 
-// Lab memoizes measurements across experiments.
+// Lab memoizes measurements across experiments and executes them
+// through a jobs.Scheduler, so the same harness serves three shapes of
+// caller:
+//
+//   - sequential experiments (NewLab: an inline scheduler executes each
+//     point on the calling goroutine, exactly the pre-scheduler order),
+//   - parallel sweeps (NewParallelLab: points fan out across a worker
+//     pool; identical in-flight points coalesce),
+//   - services (NewLabWith: the caller shapes queue depth, timeouts and
+//     metrics, and uses the Try ticket API for backpressure).
+//
+// Memoization is two-layered. Compiles are memoized per benchmark×ISA
+// in one-shot flights. Runs live in the scheduler's content-addressed
+// result cache, keyed by a hash of the program image plus the simulated
+// memory configuration, so repeated submissions — including ones
+// arriving over the batch HTTP API — are served without re-simulating.
 type Lab struct {
+	sched *jobs.Scheduler
 	mu    sync.Mutex
-	runs  map[string]*Measurement
-	errs  map[string]error
-	comp  map[string]*mcc.Compiled
-	sweep map[string][]*cache.System
-	pipes map[string][]*pipeline.Engine
-	acct  map[string]*AccountRun
+	comp  map[string]*flight[*mcc.Compiled]
+	runs  map[string]*Measurement // by bench|spec, for enumeration
+	errs  map[string]error        // failed measure runs, by bench|spec
 }
 
-// NewLab returns an empty measurement harness.
-func NewLab() *Lab {
+// flight is a one-shot memoization cell: the first caller runs fn,
+// every later or concurrent caller shares the outcome.
+type flight[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func flightDo[T any](l *Lab, m map[string]*flight[T], k string, fn func() (T, error)) (T, error) {
+	l.mu.Lock()
+	f, ok := m[k]
+	if !ok {
+		f = &flight[T]{}
+		m[k] = f
+	}
+	l.mu.Unlock()
+	f.once.Do(func() { f.val, f.err = fn() })
+	return f.val, f.err
+}
+
+// NewLab returns a sequential measurement harness: points execute
+// inline on the calling goroutine, preserving the exact behavior and
+// ordering of a scheduler-free run.
+func NewLab() *Lab { return NewLabWith(jobs.New(jobs.Config{})) }
+
+// NewParallelLab returns a harness whose points execute on a pool of
+// the given number of workers, with scheduler metrics published in the
+// process-wide telemetry registry.
+func NewParallelLab(workers int) *Lab {
+	return NewLabWith(jobs.New(jobs.Config{
+		Workers:    workers,
+		QueueDepth: 4*workers + 64,
+		Registry:   telemetry.Default(),
+	}))
+}
+
+// NewLabWith returns a harness running on a caller-shaped scheduler.
+func NewLabWith(s *jobs.Scheduler) *Lab {
 	return &Lab{
+		sched: s,
+		comp:  map[string]*flight[*mcc.Compiled]{},
 		runs:  map[string]*Measurement{},
 		errs:  map[string]error{},
-		comp:  map[string]*mcc.Compiled{},
-		sweep: map[string][]*cache.System{},
-		pipes: map[string][]*pipeline.Engine{},
-		acct:  map[string]*AccountRun{},
 	}
 }
+
+// Scheduler returns the lab's job scheduler (for metrics registration
+// and graceful shutdown).
+func (l *Lab) Scheduler() *jobs.Scheduler { return l.sched }
 
 func key(b *bench.Benchmark, spec *isa.Spec) string { return b.Name + "|" + spec.Name }
 
 // Compile compiles (with memoization) one benchmark for one target.
+// Compilation runs on the calling goroutine — it is cheap relative to
+// simulation and its output is needed to compute the run's content key.
 func (l *Lab) Compile(b *bench.Benchmark, spec *isa.Spec) (*mcc.Compiled, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.compileLocked(b, spec)
+	return flightDo(l, l.comp, key(b, spec), func() (*mcc.Compiled, error) {
+		return mcc.Compile(b.Name+".mc", b.Source, spec)
+	})
 }
 
-func (l *Lab) compileLocked(b *bench.Benchmark, spec *isa.Spec) (*mcc.Compiled, error) {
-	k := key(b, spec)
-	if c, ok := l.comp[k]; ok {
-		return c, nil
-	}
-	if err, ok := l.errs["compile|"+k]; ok {
-		return nil, err
-	}
-	c, err := mcc.Compile(b.Name+".mc", b.Source, spec)
-	if err != nil {
-		l.errs["compile|"+k] = err
-		return nil, err
-	}
-	l.comp[k] = c
-	return c, nil
+// hashImage folds everything execution-relevant about a linked program
+// image into h: the encoding, the entry state and the text and data
+// segments.
+func hashImage(h *jobs.Hasher, img *prog.Image) *jobs.Hasher {
+	return h.Int(int64(img.Enc)).Bool(img.Cmp8).Int(int64(img.Entry)).
+		Int(int64(img.BSS)).Bytes(img.Text).Bytes(img.Data)
+}
+
+// measureKey is the content address of one standard measurement run:
+// the program image, the run budget, and the identity labels the
+// resulting Measurement embeds.
+func measureKey(b *bench.Benchmark, spec *isa.Spec, img *prog.Image) jobs.Key {
+	h := jobs.NewHasher("measure").String(b.Name).String(spec.Name).Int(b.MaxInstrs)
+	return hashImage(h, img).Key()
 }
 
 // Measure compiles and runs one benchmark under one configuration (with
 // memoization), attaching the standard observers.
 func (l *Lab) Measure(b *bench.Benchmark, spec *isa.Spec) (*Measurement, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	k := key(b, spec)
-	if m, ok := l.runs[k]; ok {
-		return m, nil
-	}
-	if err, ok := l.errs[k]; ok {
-		return nil, err
-	}
-	m, err := l.measureLocked(b, spec)
+	t, err := l.MeasureTicket(context.Background(), b, spec)
 	if err != nil {
-		l.errs[k] = err
 		return nil, err
 	}
-	l.runs[k] = m
-	return m, nil
+	v, err := t.Wait(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Measurement), nil
 }
 
-func (l *Lab) measureLocked(b *bench.Benchmark, spec *isa.Spec) (*Measurement, error) {
+// MeasureTicket submits the measurement as a job and returns its
+// ticket without waiting, so callers can fan a set of points out across
+// the lab's workers and collect them in a deterministic order. A full
+// queue blocks until space frees or ctx ends.
+func (l *Lab) MeasureTicket(ctx context.Context, b *bench.Benchmark, spec *isa.Spec) (*jobs.Ticket, error) {
+	return l.measureTicket(ctx, b, spec, false)
+}
+
+// TryMeasureTicket is MeasureTicket with fail-fast backpressure: a full
+// queue returns jobs.ErrOverloaded instead of blocking (servers map it
+// to 503).
+func (l *Lab) TryMeasureTicket(ctx context.Context, b *bench.Benchmark, spec *isa.Spec) (*jobs.Ticket, error) {
+	return l.measureTicket(ctx, b, spec, true)
+}
+
+func (l *Lab) measureTicket(ctx context.Context, b *bench.Benchmark, spec *isa.Spec, try bool) (*jobs.Ticket, error) {
+	c, err := l.Compile(b, spec)
+	if err != nil {
+		return nil, err
+	}
+	k := key(b, spec)
+	l.mu.Lock()
+	err = l.errs[k]
+	l.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	job := jobs.Job{
+		Name: "measure " + k,
+		Key:  measureKey(b, spec, c.Image),
+		Fn: func(context.Context) (any, error) {
+			m, err := l.runMeasure(b, spec, c)
+			l.mu.Lock()
+			if err != nil {
+				l.errs[k] = err
+			} else {
+				l.runs[k] = m
+			}
+			l.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			return m, nil
+		},
+	}
+	if try {
+		return l.sched.TrySubmit(ctx, job)
+	}
+	return l.sched.Submit(ctx, job)
+}
+
+// runMeasure executes one compiled benchmark with the standard
+// observers attached. It holds no lab locks: concurrent runs of
+// distinct points are the scheduler's normal mode.
+func (l *Lab) runMeasure(b *bench.Benchmark, spec *isa.Spec, c *mcc.Compiled) (*Measurement, error) {
 	span := telemetry.StartSpan("measure",
 		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
 	defer span.End()
-	c, err := l.compileLocked(b, spec)
-	if err != nil {
-		return nil, err
-	}
 	machine, err := sim.New(c.Image)
 	if err != nil {
 		return nil, err
@@ -232,25 +329,36 @@ func (l *Lab) measureLocked(b *bench.Benchmark, spec *isa.Spec) (*Measurement, e
 
 // CacheSweep runs one benchmark under one configuration with a split I/D
 // cache system per geometry, all attached to a single execution. Results
-// are memoized per (benchmark, spec, geometry-set).
+// are served from the scheduler's content-addressed cache, keyed by the
+// program image and the geometry set.
 func (l *Lab) CacheSweep(b *bench.Benchmark, spec *isa.Spec, cfgs []cache.Config) ([]*cache.System, error) {
-	k := key(b, spec)
-	for _, c := range cfgs {
-		k += fmt.Sprintf("|%d/%d/%d", c.Size, c.BlockBytes, c.SubBytes)
+	c, err := l.Compile(b, spec)
+	if err != nil {
+		return nil, err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if s, ok := l.sweep[k]; ok {
-		return s, nil
+	h := jobs.NewHasher("cache-sweep").Int(b.MaxInstrs)
+	for _, cfg := range cfgs {
+		h.Int(int64(cfg.Size)).Int(int64(cfg.BlockBytes)).Int(int64(cfg.SubBytes))
 	}
+	hashImage(h, c.Image)
+	v, err := l.sched.Do(context.Background(), jobs.Job{
+		Name: "cache-sweep " + key(b, spec),
+		Key:  h.Key(),
+		Fn: func(context.Context) (any, error) {
+			return l.runCacheSweep(b, spec, c, cfgs)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]*cache.System), nil
+}
+
+func (l *Lab) runCacheSweep(b *bench.Benchmark, spec *isa.Spec, c *mcc.Compiled, cfgs []cache.Config) ([]*cache.System, error) {
 	span := telemetry.StartSpan("cache-sweep",
 		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name),
 		telemetry.String("geometries", fmt.Sprintf("%d", len(cfgs))))
 	defer span.End()
-	c, err := l.compileLocked(b, spec)
-	if err != nil {
-		return nil, err
-	}
 	machine, err := sim.New(c.Image)
 	if err != nil {
 		return nil, err
@@ -271,30 +379,41 @@ func (l *Lab) CacheSweep(b *bench.Benchmark, spec *isa.Spec, cfgs []cache.Config
 	if err != nil {
 		return nil, fmt.Errorf("core: cache sweep %s on %s: %w", b.Name, spec, err)
 	}
-	l.sweep[k] = systems
 	return systems, nil
 }
 
 // PipelineRun executes one benchmark under the event-driven cycle-level
 // pipeline model (one engine per memory configuration, all attached to a
-// single execution). Results are memoized.
+// single execution). Results are served from the scheduler's
+// content-addressed cache; the configurations must be cacheless (a
+// pipeline.Config carrying its own cache.System is not hashable).
 func (l *Lab) PipelineRun(b *bench.Benchmark, spec *isa.Spec, cfgs []pipeline.Config) ([]*pipeline.Engine, error) {
-	k := "pipe|" + key(b, spec)
-	for _, c := range cfgs {
-		k += fmt.Sprintf("|%d/%d/%v", c.BusBytes, c.WaitStates, c.SharedPort)
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if e, ok := l.pipes[k]; ok {
-		return e, nil
-	}
-	span := telemetry.StartSpan("pipeline-run",
-		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
-	defer span.End()
-	c, err := l.compileLocked(b, spec)
+	c, err := l.Compile(b, spec)
 	if err != nil {
 		return nil, err
 	}
+	h := jobs.NewHasher("pipeline-run").Int(b.MaxInstrs)
+	for _, cfg := range cfgs {
+		h.Int(int64(cfg.BusBytes)).Int(cfg.WaitStates).Bool(cfg.SharedPort).Int(cfg.MissPenalty)
+	}
+	hashImage(h, c.Image)
+	v, err := l.sched.Do(context.Background(), jobs.Job{
+		Name: "pipeline-run " + key(b, spec),
+		Key:  h.Key(),
+		Fn: func(context.Context) (any, error) {
+			return l.runPipeline(b, spec, c, cfgs)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]*pipeline.Engine), nil
+}
+
+func (l *Lab) runPipeline(b *bench.Benchmark, spec *isa.Spec, c *mcc.Compiled, cfgs []pipeline.Config) ([]*pipeline.Engine, error) {
+	span := telemetry.StartSpan("pipeline-run",
+		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
+	defer span.End()
 	machine, err := sim.New(c.Image)
 	if err != nil {
 		return nil, err
@@ -312,7 +431,6 @@ func (l *Lab) PipelineRun(b *bench.Benchmark, spec *isa.Spec, cfgs []pipeline.Co
 	if err != nil {
 		return nil, fmt.Errorf("core: pipeline run %s on %s: %w", b.Name, spec, err)
 	}
-	l.pipes[k] = engines
 	return engines, nil
 }
 
@@ -327,25 +445,37 @@ type AccountRun struct {
 
 // Account executes one benchmark with cycle-accounting engines attached
 // (per-PC attribution on) and returns them with the image's symbol
-// table. Results are memoized per (benchmark, spec, config-set); cached
+// table. Results are served from the scheduler's content-addressed
+// cache, keyed by the program image and the config set; cached
 // configurations build a fresh cache.System per engine from CacheBytes.
 func (l *Lab) Account(b *bench.Benchmark, spec *isa.Spec, cfgs []AccountConfig) (*AccountRun, error) {
-	k := "acct|" + key(b, spec)
-	for _, c := range cfgs {
-		k += fmt.Sprintf("|%d/%d/%v/%d/%d", c.BusBytes, c.WaitStates, c.SharedPort, c.CacheBytes, c.MissPenalty)
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if r, ok := l.acct[k]; ok {
-		return r, nil
-	}
-	span := telemetry.StartSpan("account-run",
-		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
-	defer span.End()
-	c, err := l.compileLocked(b, spec)
+	c, err := l.Compile(b, spec)
 	if err != nil {
 		return nil, err
 	}
+	h := jobs.NewHasher("account-run").Int(b.MaxInstrs)
+	for _, cfg := range cfgs {
+		h.Int(int64(cfg.BusBytes)).Int(cfg.WaitStates).Bool(cfg.SharedPort).
+			Int(int64(cfg.CacheBytes)).Int(cfg.MissPenalty)
+	}
+	hashImage(h, c.Image)
+	v, err := l.sched.Do(context.Background(), jobs.Job{
+		Name: "account-run " + key(b, spec),
+		Key:  h.Key(),
+		Fn: func(context.Context) (any, error) {
+			return l.runAccount(b, spec, c, cfgs)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*AccountRun), nil
+}
+
+func (l *Lab) runAccount(b *bench.Benchmark, spec *isa.Spec, c *mcc.Compiled, cfgs []AccountConfig) (*AccountRun, error) {
+	span := telemetry.StartSpan("account-run",
+		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
+	defer span.End()
 	machine, err := sim.New(c.Image)
 	if err != nil {
 		return nil, err
@@ -377,7 +507,6 @@ func (l *Lab) Account(b *bench.Benchmark, spec *isa.Spec, cfgs []AccountConfig) 
 	if err != nil {
 		return nil, fmt.Errorf("core: account run %s on %s: %w", b.Name, spec, err)
 	}
-	l.acct[k] = run
 	return run, nil
 }
 

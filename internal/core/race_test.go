@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/mcc"
+	"repro/internal/memsys"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+// TestConcurrentRunsDeterministic is the concurrency-safety contract of
+// the simulation stack: eight goroutines compile-once/run-many the same
+// benchmark — sharing one *prog.Image — each with its own machine,
+// cycle-level pipeline engine and cacheless memory model, and every run
+// must produce identical outputs and identical cycle counts. Run under
+// -race (make test does) this doubles as the shared-mutable-state audit
+// of internal/sim and internal/pipeline.
+func TestConcurrentRunsDeterministic(t *testing.T) {
+	b := bench.ByName("queens")
+	if b == nil {
+		t.Fatal("benchmark queens missing")
+	}
+	c, err := mcc.Compile(b.Name+".mc", b.Source, isa.D16())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	type result struct {
+		output string
+		instrs int64
+		pipe   int64
+		bus    int64
+	}
+	results := make([]result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := sim.New(c.Image)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			eng := pipeline.New(pipeline.Config{BusBytes: 4, WaitStates: 1})
+			bus := memsys.NewNoCache(4)
+			m.Attach(eng)
+			m.Attach(bus)
+			if err := m.Run(b.MaxInstrs); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = result{
+				output: m.Output.String(),
+				instrs: m.Stats.Instrs,
+				pipe:   eng.Cycles(),
+				bus:    bus.Cycles(m.Stats.Instrs, m.Stats.Interlocks, 1),
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("run %d diverged: %+v != %+v", i, results[i], results[0])
+		}
+	}
+	if results[0].pipe == 0 || results[0].instrs == 0 {
+		t.Fatalf("degenerate run: %+v", results[0])
+	}
+}
+
+// TestParallelLabCoalesces drives the same measurement point through a
+// parallel lab from eight goroutines at once and checks that they all
+// observe the same memoized *Measurement — the scheduler either
+// coalesced them onto one in-flight run or served them from the result
+// cache, never computing the point twice.
+func TestParallelLabCoalesces(t *testing.T) {
+	lab := NewParallelLab(2)
+	defer lab.Scheduler().Shutdown(context.Background())
+	b := bench.ByName("queens")
+	spec := isa.D16()
+
+	const callers = 8
+	ms := make([]*Measurement, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ms[i], errs[i] = lab.Measure(b, spec)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if ms[i] != ms[0] {
+			t.Fatalf("caller %d got a distinct Measurement", i)
+		}
+	}
+	hits := lab.Scheduler().Metrics().CacheHits.Value()
+	coalesced := lab.Scheduler().Metrics().Coalesced.Value()
+	if hits+coalesced != callers-1 {
+		t.Fatalf("hits=%d coalesced=%d, want them to cover %d duplicate submissions",
+			hits, coalesced, callers-1)
+	}
+}
+
+// TestParallelLabMatchesSequential measures a grid of points on an
+// inline lab and on a 4-worker lab and requires identical scalar rows —
+// the byte-identity guarantee `repro -jobs N` builds on.
+func TestParallelLabMatchesSequential(t *testing.T) {
+	specs := []*isa.Spec{isa.D16(), isa.DLXe()}
+	benches := []*bench.Benchmark{bench.ByName("queens"), bench.ByName("towers"), bench.ByName("ackermann")}
+
+	seq := NewLab()
+	for _, spec := range specs {
+		for _, b := range benches {
+			if _, err := seq.Measure(b, spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	par := NewParallelLab(4)
+	defer par.Scheduler().Shutdown(context.Background())
+	var wg sync.WaitGroup
+	errs := make(chan error, len(specs)*len(benches))
+	for _, spec := range specs {
+		for _, b := range benches {
+			wg.Add(1)
+			go func(b *bench.Benchmark, spec *isa.Spec) {
+				defer wg.Done()
+				if _, err := par.Measure(b, spec); err != nil {
+					errs <- err
+				}
+			}(b, spec)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var a, bb bytes.Buffer
+	for _, row := range seq.Summary() {
+		a.WriteString(rowString(row))
+	}
+	for _, row := range par.Summary() {
+		bb.WriteString(rowString(row))
+	}
+	if a.String() != bb.String() {
+		t.Fatalf("parallel summary diverged:\nseq:\n%s\npar:\n%s", a.String(), bb.String())
+	}
+}
+
+func rowString(r SummaryRow) string {
+	return fmt.Sprintf("%s|%s|%v|%v|%d,%d,%d,%d\n",
+		r.Bench, r.Config, r.CPIBus32, r.CPIBus64,
+		r.SizeBytes, r.Instrs, r.Interlocks, r.FetchWords)
+}

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/jobs"
 	"repro/internal/telemetry"
 )
 
@@ -111,14 +113,29 @@ func allConfigs() []*isa.Spec {
 }
 
 // suiteMeasurements measures the whole suite under one configuration.
+// Every point is submitted to the lab's scheduler before any result is
+// awaited, so on a parallel lab the suite fans out across the worker
+// pool; on the default inline lab the tickets execute synchronously in
+// submission order, preserving the sequential behavior exactly. Results
+// are collected in benchmark order either way, so callers see a
+// deterministic outcome regardless of worker count.
 func (c *Ctx) suiteMeasurements(spec *isa.Spec) (map[string]*core.Measurement, error) {
-	out := map[string]*core.Measurement{}
-	for _, b := range bench.All() {
-		m, err := c.Lab.Measure(b, spec)
+	benches := bench.All()
+	tickets := make([]*jobs.Ticket, len(benches))
+	for i, b := range benches {
+		t, err := c.Lab.MeasureTicket(context.Background(), b, spec)
 		if err != nil {
 			return nil, err
 		}
-		out[b.Name] = m
+		tickets[i] = t
+	}
+	out := map[string]*core.Measurement{}
+	for i, b := range benches {
+		v, err := tickets[i].Wait(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		out[b.Name] = v.(*core.Measurement)
 	}
 	return out, nil
 }

@@ -1,0 +1,72 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// Key is a 32-byte content address. Jobs submitted with equal non-zero
+// keys are interchangeable: the scheduler coalesces them while one is in
+// flight and serves later submissions from the result cache. The zero
+// Key marks a job as uncacheable.
+type Key [32]byte
+
+// IsZero reports whether k is the zero (uncacheable) key.
+func (k Key) IsZero() bool { return k == Key{} }
+
+// String returns the full hex form of the key.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Short returns an 8-byte hex prefix for labels and logs.
+func (k Key) Short() string { return hex.EncodeToString(k[:8]) }
+
+// Hasher builds a Key from typed fields. Every field is written with a
+// length or tag prefix so that distinct field sequences can never
+// produce the same digest by concatenation, and the domain string
+// separates key spaces (e.g. "measure" vs "cache-sweep" runs over the
+// same image).
+type Hasher struct{ h hash.Hash }
+
+// NewHasher starts a key over the given domain.
+func NewHasher(domain string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	return h.String(domain)
+}
+
+// Bytes appends a length-prefixed byte field.
+func (h *Hasher) Bytes(b []byte) *Hasher {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+	h.h.Write(n[:])
+	h.h.Write(b)
+	return h
+}
+
+// String appends a length-prefixed string field.
+func (h *Hasher) String(s string) *Hasher { return h.Bytes([]byte(s)) }
+
+// Int appends a fixed-width integer field.
+func (h *Hasher) Int(v int64) *Hasher {
+	var n [9]byte
+	n[0] = 'i'
+	binary.LittleEndian.PutUint64(n[1:], uint64(v))
+	h.h.Write(n[:])
+	return h
+}
+
+// Bool appends a boolean field.
+func (h *Hasher) Bool(v bool) *Hasher {
+	if v {
+		return h.Int(1)
+	}
+	return h.Int(0)
+}
+
+// Key finalizes the digest.
+func (h *Hasher) Key() Key {
+	var k Key
+	h.h.Sum(k[:0])
+	return k
+}

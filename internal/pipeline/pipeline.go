@@ -22,6 +22,19 @@
 // Setting Config.Caches puts a split I/D cache pair in front of the
 // memory interface, turning wait-state charges into per-miss penalty
 // charges attributed to the cache-miss bucket.
+//
+// # Concurrency and ownership
+//
+// An Engine is owned by the single run it observes: it holds per-run
+// mutable state (issue clock, fetch buffer, attribution tables) with no
+// internal locking, and a Config.Caches system is likewise mutated by
+// the run it is attached to. The package itself keeps no mutable
+// package-level state — its only package vars are constant lookup
+// tables — so any number of engines may run on distinct goroutines
+// concurrently, one engine (and one cache.System) per machine, as the
+// job scheduler's worker pool does. Engines are deterministic: the same
+// image and config produce bit-identical cycle counts on every run
+// (asserted by core's TestConcurrentRunsDeterministic under -race).
 package pipeline
 
 import (

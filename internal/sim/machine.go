@@ -13,6 +13,19 @@
 //
 // Control transfers have one architectural delay slot: the instruction
 // after a branch/jump always executes.
+//
+// # Concurrency and ownership
+//
+// A Machine and everything attached to it (observers, trace ring,
+// output buffer) belong to one run on one goroutine; none of it is
+// internally locked. The *prog.Image passed to New is only read — its
+// segments are copied into the machine's private memory and pre-decoded
+// instruction array — so a single compiled image may safely back any
+// number of machines running concurrently on distinct goroutines. The
+// package keeps no mutable package-level state, and execution is fully
+// deterministic: identical images produce identical outputs, stats and
+// observer event streams on every run (asserted by core's
+// TestConcurrentRunsDeterministic under -race).
 package sim
 
 import (

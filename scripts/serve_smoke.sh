@@ -1,0 +1,59 @@
+#!/bin/sh
+# serve_smoke.sh <simd-binary> <scratch-dir>
+#
+# Boots the simulation service, checks /healthz, runs the same
+# one-point batch twice (the repeat must come back byte-identical from
+# the result cache), confirms /metrics counted the cache hit, then
+# shuts the server down with SIGTERM and requires a clean exit.
+set -eu
+
+SIMD=$1
+OUT=$2
+PORT=${SERVE_SMOKE_PORT:-18473}
+URL="http://127.0.0.1:$PORT"
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+"$SIMD" -listen "127.0.0.1:$PORT" -jobs 2 >"$OUT/simd.log" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the server to come up (5s budget).
+i=0
+until curl -sf "$URL/healthz" >"$OUT/healthz.json" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "serve-smoke: server did not come up; log:" >&2
+        cat "$OUT/simd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+grep -q '"ok":true' "$OUT/healthz.json"
+
+BATCH='{"points":[{"bench":"queens","config":"D16/16/2"}]}'
+curl -sf -X POST -d "$BATCH" "$URL/v1/batch" >"$OUT/batch1.json"
+curl -sf -X POST -d "$BATCH" "$URL/v1/batch" >"$OUT/batch2.json"
+grep -q '"summary"' "$OUT/batch1.json"
+if grep -q '"error"' "$OUT/batch1.json"; then
+    echo "serve-smoke: batch reported a point error:" >&2
+    cat "$OUT/batch1.json" >&2
+    exit 1
+fi
+cmp "$OUT/batch1.json" "$OUT/batch2.json"
+
+curl -sf "$URL/metrics" >"$OUT/metrics.prom"
+grep -q '^jobs_cache_hits 1$' "$OUT/metrics.prom"
+grep -q '^jobs_cache_misses 1$' "$OUT/metrics.prom"
+
+# Graceful drain: SIGTERM must end the process with exit 0.
+kill -TERM "$PID"
+trap - EXIT
+if ! wait "$PID"; then
+    echo "serve-smoke: server exited non-zero; log:" >&2
+    cat "$OUT/simd.log" >&2
+    exit 1
+fi
+
+echo "serve-smoke ok: cached repeat byte-identical, graceful shutdown"
