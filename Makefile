@@ -6,12 +6,33 @@
 TMP := /tmp/repro-make
 BIN := $(TMP)/bin
 
-.PHONY: check build test vet smoke determinism serve-smoke bench clean
+.PHONY: check build test vet lint verify fuzz-short smoke determinism serve-smoke bench clean
 
-check: vet build test smoke determinism serve-smoke
+check: vet lint build test fuzz-short verify smoke determinism serve-smoke
 
 vet:
 	go vet ./...
+
+# Determinism linter: no map-order iteration, wall-clock reads or
+# math/rand in packages whose output must be byte-identical (see
+# docs/VERIFY.md). Part of the determinism gate.
+lint: $(BIN)/detlint
+	$(BIN)/detlint .
+
+$(BIN)/detlint: build
+	@mkdir -p $(BIN)
+	go build -o $@ ./cmd/detlint
+
+# Static machine-code verification of every seed benchmark on both
+# ISAs: encoding ranges, CFG/delay slots, def-before-use, stack
+# discipline (docs/VERIFY.md). Exit 3 on any violation.
+verify: $(BIN)/repro
+	$(BIN)/repro -verify
+
+# Short fuzz pass over the verifier's corpus: random instruction
+# streams must never panic it.
+fuzz-short:
+	go test ./internal/verify/ -fuzz FuzzVerify -fuzztime 10s -run '^$$'
 
 build:
 	go build ./...

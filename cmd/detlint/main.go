@@ -1,0 +1,51 @@
+// Command detlint runs the repo's determinism linter over the module:
+// no map-order-dependent iteration, wall-clock reads or math/rand in
+// packages whose output must be byte-identical across runs (see
+// internal/detlint and docs/VERIFY.md).
+//
+// Usage:
+//
+//	detlint [module-root]
+//
+// The default root is the current directory. Exit codes: 0 clean,
+// 1 findings reported, 2 usage or analysis failure. Suppress a finding
+// with `//detlint:ignore <check> <reason>` on the same or preceding
+// line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/detlint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: detlint [module-root]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	root := "."
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		root = flag.Arg(0)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	findings, err := detlint.LintModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	mcrun [-target d16|dlxe] [-regs N] [-2addr] [-bench name] [-dumpasm] [file.mc]
+//	mcrun [-target d16|dlxe] [-regs N] [-2addr] [-bench name] [-dumpasm] [-verify] [file.mc]
+//
+// Exit codes: 0 success; 1 compile/runtime failure; 2 bad usage or an
+// unknown target/benchmark name; 3 the program compiled but its image
+// failed static verification (see docs/VERIFY.md). -verify prints the
+// verifier's report for the compiled image and exits without running.
 //
 // Observability flags (see docs/OBSERVABILITY.md):
 //
@@ -26,6 +31,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +46,7 @@ import (
 	"repro/internal/prog"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -54,6 +61,7 @@ func main() {
 	fullTrace := flag.Bool("fulltrace", false, "stream every executed instruction to stderr")
 	verbose := flag.Bool("v", false, "print pipeline stage timings (compile/assemble/link/run)")
 	maxInstrs := flag.Int64("max", 2_000_000_000, "instruction budget")
+	verifyMode := flag.Bool("verify", false, "statically verify the compiled image, print the report, and exit without running")
 	account := flag.Bool("account", false, "attach the cycle-level engine and print a cycle attribution breakdown")
 	busBytes := flag.Uint("bus", 4, "memory bus width in bytes for -account")
 	waits := flag.Int64("waits", 1, "memory wait states for -account (ignored with -cachekb)")
@@ -119,10 +127,23 @@ func main() {
 	c, err := mcc.Compile(name, src, spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		// Exit 3 distinguishes "the code compiled but failed static
+		// verification" from ordinary compile errors (see docs/VERIFY.md).
+		var verr *verify.Error
+		if errors.As(err, &verr) {
+			verr.Report.WriteTable(os.Stderr)
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 	if *dumpAsm {
 		fmt.Print(c.Asm)
+	}
+	if *verifyMode {
+		// The compile gate already proved the image clean; re-run the
+		// verifier to print the full report.
+		verify.Image(c.Image, spec).WriteTable(os.Stdout)
+		return
 	}
 	m, err := sim.New(c.Image)
 	if err != nil {

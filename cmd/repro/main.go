@@ -12,6 +12,11 @@
 //	repro -trace out/trace.json     # write a Chrome trace_event file of the
 //	                                # compile/assemble/link/run pipeline spans
 //	                                # (open in chrome://tracing or Perfetto)
+//	repro -verify                   # statically verify every seed benchmark
+//	                                # on every paper configuration; prints a
+//	                                # per-benchmark violation table, writes
+//	                                # verify.json with -json, exits 3 if any
+//	                                # image has violations (see docs/VERIFY.md)
 //	repro -account                  # cycle-accounting report: per-benchmark
 //	                                # bucket breakdowns (D16/DLXe, cacheless
 //	                                # and cached) plus the per-function
@@ -51,6 +56,7 @@ func main() {
 	jsonDir := flag.String("json", "", "directory for machine-readable results (per-experiment JSON, summary.json, metrics.json)")
 	traceFile := flag.String("trace", "", "write pipeline spans as Chrome trace-event JSON to this file")
 	account := flag.Bool("account", false, "run the cycle-accounting report (bucket breakdowns + differential D16/DLXe per-function report) instead of experiments")
+	verifyMode := flag.Bool("verify", false, "statically verify every seed benchmark on every paper configuration and print per-benchmark violation tables (exit 3 on any violation)")
 	listen := flag.String("listen", "", "serve /debug/pprof and /metrics on this address for the duration of the run")
 	timing := flag.Bool("timing", true, "stamp elapsed wall-clock seconds into per-experiment JSON (disable for byte-identical reruns)")
 	jobsN := flag.Int("jobs", 1, "simulation workers; >1 runs experiments concurrently through the job scheduler, with output assembled in deterministic submission order")
@@ -63,6 +69,19 @@ func main() {
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *verifyMode {
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if dirty := runVerify(*jsonDir); dirty > 0 {
+			os.Exit(3)
 		}
 		return
 	}

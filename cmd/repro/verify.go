@@ -1,0 +1,78 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/mcc"
+	"repro/internal/telemetry"
+	"repro/internal/verify"
+)
+
+// benchReport pairs one benchmark×config verification report for the
+// verify.json export.
+type benchReport struct {
+	Bench string `json:"bench"`
+	*verify.Report
+}
+
+// runVerify compiles every seed benchmark for every paper configuration
+// and prints the static-verification report for each image. With a
+// -json directory it also writes verify.json. It returns the number of
+// dirty (violating or uncompilable) images; main exits 3 when nonzero.
+func runVerify(jsonDir string) int {
+	specs := append(isa.PaperConfigs(), isa.D16Plus())
+	var reports []benchReport
+	dirty := 0
+	for _, b := range bench.All() {
+		for _, spec := range specs {
+			rep, err := verifyOne(b, spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s on %s: %v\n", b.Name, spec.Name, err)
+				dirty++
+				continue
+			}
+			fmt.Printf("%-12s ", b.Name)
+			rep.WriteTable(os.Stdout)
+			if !rep.OK() {
+				dirty++
+			}
+			reports = append(reports, benchReport{Bench: b.Name, Report: rep})
+		}
+	}
+	if dirty == 0 {
+		fmt.Printf("\nall %d images verified clean\n", len(reports))
+	} else {
+		fmt.Printf("\n%d image(s) failed verification\n", dirty)
+	}
+	if jsonDir != "" {
+		path := filepath.Join(jsonDir, "verify.json")
+		err := telemetry.WriteJSONFile(path, struct {
+			Reports []benchReport `json:"reports"`
+		}{reports})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	return dirty
+}
+
+// verifyOne compiles b for spec and returns the verification report —
+// including the report of a gate-rejected image, recovered from the
+// compile error.
+func verifyOne(b *bench.Benchmark, spec *isa.Spec) (*verify.Report, error) {
+	c, err := mcc.Compile(b.Name+".mc", b.Source, spec)
+	if err != nil {
+		var verr *verify.Error
+		if errors.As(err, &verr) {
+			return verr.Report, nil
+		}
+		return nil, err
+	}
+	return verify.Image(c.Image, spec), nil
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/jobs"
 	"repro/internal/telemetry"
+	"repro/internal/verify"
 )
 
 // maxBatchPoints bounds one request; bigger sweeps should be split so
@@ -141,6 +142,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if err != nil {
+				if writeVerifyRejection(w, p, err) {
+					return
+				}
 				res.Error = err.Error()
 				continue
 			}
@@ -157,6 +161,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		case tickets[i] != nil:
 			v, err := tickets[i].Wait(r.Context())
 			if err != nil {
+				if writeVerifyRejection(w, p, err) {
+					return
+				}
 				res.Error = err.Error()
 				continue
 			}
@@ -179,6 +186,29 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// Headers are gone; nothing to do but note it.
 		fmt.Fprintf(io.Discard, "%v", err)
 	}
+}
+
+// writeVerifyRejection maps a static-verification failure to 422
+// Unprocessable Entity with the per-PC violation list in the body; it
+// reports whether err was such a failure (and the response written).
+func writeVerifyRejection(w http.ResponseWriter, p point, err error) bool {
+	var verr *verify.Error
+	if !errors.As(err, &verr) {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusUnprocessableEntity)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if encErr := enc.Encode(struct {
+		Error  string         `json:"error"`
+		Bench  string         `json:"bench,omitempty"`
+		Config string         `json:"config,omitempty"`
+		Report *verify.Report `json:"report"`
+	}{"image failed static verification", p.Bench, p.Config, verr.Report}); encErr != nil {
+		fmt.Fprintf(io.Discard, "%v", encErr)
+	}
+	return true
 }
 
 // runExperimentPoint renders one experiment's tables against the shared

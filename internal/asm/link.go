@@ -283,7 +283,7 @@ func (a *Assembler) encode(symbols map[string]uint32) (*prog.Image, error) {
 		Cmp8:    a.spec.CmpImm8,
 		Symbols: make(map[string]uint32, len(symbols)),
 	}
-	for k, v := range symbols {
+	for k, v := range symbols { //detlint:ignore rangemap map-to-map copy, order-free
 		img.Symbols[k] = v
 	}
 
@@ -309,6 +309,11 @@ func (a *Assembler) encode(symbols map[string]uint32) (*prog.Image, error) {
 
 	for _, it := range a.items {
 		buf, off := seg(it)
+		// Record every text-segment span that holds no instructions, so
+		// the verifier can tell code from pools, padding and in-text data.
+		if it.sec == secText && it.size > 0 && it.kind != itInstr {
+			img.AddNonCode(it.addr, it.addr+it.size)
+		}
 		switch it.kind {
 		case itInstr:
 			in := it.in

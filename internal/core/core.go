@@ -25,6 +25,7 @@ import (
 	"repro/internal/prog"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/verify"
 )
 
 // Measurement is the full result of compiling and running one benchmark
@@ -205,9 +206,12 @@ func (l *Lab) Compile(b *bench.Benchmark, spec *isa.Spec) (*mcc.Compiled, error)
 
 // hashImage folds everything execution-relevant about a linked program
 // image into h: the encoding, the entry state and the text and data
-// segments.
+// segments — plus the verifier rule-set version, so that results
+// admitted under an older verifier are invalidated when the rules
+// change.
 func hashImage(h *jobs.Hasher, img *prog.Image) *jobs.Hasher {
-	return h.Int(int64(img.Enc)).Bool(img.Cmp8).Int(int64(img.Entry)).
+	return h.Int(int64(verify.Version)).
+		Int(int64(img.Enc)).Bool(img.Cmp8).Int(int64(img.Entry)).
 		Int(int64(img.BSS)).Bytes(img.Text).Bytes(img.Data)
 }
 
@@ -526,7 +530,7 @@ type AccountConfig struct {
 func (l *Lab) Measurements() []*Measurement {
 	l.mu.Lock()
 	out := make([]*Measurement, 0, len(l.runs))
-	for _, m := range l.runs {
+	for _, m := range l.runs { //detlint:ignore rangemap sorted immediately below
 		out = append(out, m)
 	}
 	l.mu.Unlock()

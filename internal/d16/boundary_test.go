@@ -1,0 +1,137 @@
+package d16
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// bpc is a word-aligned PC so LDC's (pc &^ 3) base equals pc.
+const bpc = uint32(isa.TextBase)
+
+// roundTrip encodes in, decodes the word back, and requires the decoded
+// instruction to re-encode to the identical bits with the same op and
+// immediate — the property the disassembler round-trip rests on.
+func roundTrip(t *testing.T, in isa.Instr, v Variant) {
+	t.Helper()
+	w, err := EncodeV(in, bpc, v)
+	if err != nil {
+		t.Fatalf("encode %q: %v", in.String(), err)
+	}
+	dec, err := DecodeV(w, bpc, v)
+	if err != nil {
+		t.Fatalf("decode %#04x (%q): %v", w, in.String(), err)
+	}
+	if dec.Op != in.Op || dec.Imm != in.Imm {
+		t.Fatalf("round trip %q -> %q (op %v imm %d)", in.String(), dec.String(), dec.Op, dec.Imm)
+	}
+	w2, err := EncodeV(dec, bpc, v)
+	if err != nil {
+		t.Fatalf("re-encode %q: %v", dec.String(), err)
+	}
+	if w2 != w {
+		t.Fatalf("re-encode %q: %#04x != %#04x", in.String(), w2, w)
+	}
+}
+
+func mustFail(t *testing.T, in isa.Instr, v Variant) {
+	t.Helper()
+	if w, err := EncodeV(in, bpc, v); err == nil {
+		t.Fatalf("encode %q: got %#04x, want range error", in.String(), w)
+	}
+}
+
+// TestBranchBoundary: the 11-bit instruction-unit branch field reaches
+// [-1024, +1023] instructions = [-2048, +2046] bytes.
+func TestBranchBoundary(t *testing.T) {
+	cc := isa.RegCC
+	for _, imm := range []int32{-2048, -2, 0, 2, 2046} {
+		roundTrip(t, isa.Instr{Op: isa.BR, Imm: imm, HasImm: true}, Variant{})
+		roundTrip(t, isa.Instr{Op: isa.BZ, Rs1: cc, Imm: imm, HasImm: true}, Variant{})
+		roundTrip(t, isa.Instr{Op: isa.BNZ, Rs1: cc, Imm: imm, HasImm: true}, Variant{})
+	}
+	for _, imm := range []int32{-2050, 2048, 3} {
+		mustFail(t, isa.Instr{Op: isa.BR, Imm: imm, HasImm: true}, Variant{})
+	}
+}
+
+// TestMVIBoundary: 9-bit signed move immediate, shrunk to 8 bits under
+// the D16+ variant.
+func TestMVIBoundary(t *testing.T) {
+	mvi := func(imm int32) isa.Instr {
+		return isa.Instr{Op: isa.MVI, Rd: isa.R(4), Imm: imm, HasImm: true}
+	}
+	for _, imm := range []int32{-256, -1, 0, 255} {
+		roundTrip(t, mvi(imm), Variant{})
+	}
+	mustFail(t, mvi(-257), Variant{})
+	mustFail(t, mvi(256), Variant{})
+
+	cmp8 := Variant{Cmp8: true}
+	for _, imm := range []int32{-128, 0, 127} {
+		roundTrip(t, mvi(imm), cmp8)
+	}
+	mustFail(t, mvi(-129), cmp8)
+	mustFail(t, mvi(128), cmp8)
+}
+
+// TestCmpEqImmBoundary: the D16+ compare-equal immediate is unsigned
+// 8-bit and exists only under the variant.
+func TestCmpEqImmBoundary(t *testing.T) {
+	cmpi := func(imm int32) isa.Instr {
+		return isa.Instr{Op: isa.CMP, Cond: isa.EQ, Rd: isa.RegCC, Rs1: isa.R(5), Imm: imm, HasImm: true}
+	}
+	cmp8 := Variant{Cmp8: true}
+	for _, imm := range []int32{0, 255} {
+		roundTrip(t, cmpi(imm), cmp8)
+	}
+	mustFail(t, cmpi(-1), cmp8)
+	mustFail(t, cmpi(256), cmp8)
+	mustFail(t, cmpi(0), Variant{}) // no compare immediate in base D16
+}
+
+// TestALUImmBoundary: 5-bit unsigned ALU immediates, top bit in the
+// opcode.
+func TestALUImmBoundary(t *testing.T) {
+	alu := func(op isa.Op, imm int32) isa.Instr {
+		return isa.Instr{Op: op, Rd: isa.R(4), Rs1: isa.R(4), Imm: imm, HasImm: true}
+	}
+	for _, op := range []isa.Op{isa.ADDI, isa.SUBI, isa.SHLI, isa.SHRI, isa.SHRAI} {
+		for _, imm := range []int32{0, 15, 16, 31} { // 16 flips the opcode-resident bit
+			roundTrip(t, alu(op, imm), Variant{})
+		}
+		mustFail(t, alu(op, -1), Variant{})
+		mustFail(t, alu(op, 32), Variant{})
+	}
+}
+
+// TestMemDispBoundary: 5-bit word displacements reach [0, 124] bytes in
+// steps of 4; subword modes take no displacement at all.
+func TestMemDispBoundary(t *testing.T) {
+	mem := func(op isa.Op, imm int32) isa.Instr {
+		return isa.Instr{Op: op, Rd: isa.R(4), Rs1: isa.R(2), Imm: imm}
+	}
+	for _, imm := range []int32{0, 4, 124} {
+		roundTrip(t, mem(isa.LD, imm), Variant{})
+		roundTrip(t, mem(isa.ST, imm), Variant{})
+	}
+	for _, imm := range []int32{-4, 2, 125, 128} {
+		mustFail(t, mem(isa.LD, imm), Variant{})
+	}
+	mustFail(t, mem(isa.LDB, 4), Variant{})
+	mustFail(t, mem(isa.STH, 4), Variant{})
+}
+
+// TestLDCBoundary: the 11-bit word offset reaches ±4 KiB around the
+// aligned PC.
+func TestLDCBoundary(t *testing.T) {
+	ldc := func(imm int32) isa.Instr {
+		return isa.Instr{Op: isa.LDC, Rd: isa.RegCC, Rs1: isa.NoReg, Imm: imm, HasImm: true}
+	}
+	for _, imm := range []int32{-4096, 0, 4092} {
+		roundTrip(t, ldc(imm), Variant{})
+	}
+	mustFail(t, ldc(-4100), Variant{})
+	mustFail(t, ldc(4096), Variant{})
+	mustFail(t, ldc(2), Variant{}) // unaligned literal
+}

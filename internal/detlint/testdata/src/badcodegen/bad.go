@@ -1,0 +1,32 @@
+// Package badcodegen is a detlint test fixture: the full catalogue of
+// determinism hazards in what the test declares to be a codegen-path
+// package. Every construct here must be flagged.
+package badcodegen
+
+import (
+	"maps"
+	"math/rand"
+	"slices"
+	"time"
+)
+
+// Emit orders its output by map iteration — the bug detlint exists to
+// catch in a code-generation path.
+func Emit(regs map[string]int) []string {
+	var out []string
+	for name := range regs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Keys consumes maps.Keys without an immediate slices.Sorted.
+func Keys(m map[string]int) []string {
+	return slices.Collect(maps.Keys(m))
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Jitter pulls from the global math/rand state.
+func Jitter() int { return rand.Intn(8) }

@@ -1,0 +1,32 @@
+// Package cleancodegen is a detlint test fixture: map consumption done
+// the sanctioned ways. Nothing here may be flagged even under the
+// codegen-path rule set.
+package cleancodegen
+
+import (
+	"maps"
+	"slices"
+)
+
+// Sorted uses the sanctioned maps.Keys → slices.Sorted pipeline.
+func Sorted(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// Copy iterates a map with an escape hatch naming the check and reason.
+func Copy(dst, src map[string]int) {
+	for k, v := range src { //detlint:ignore rangemap map-to-map copy, order-free
+		dst[k] = v
+	}
+}
+
+// CollectSort collects then sorts, suppressed on the preceding line.
+func CollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//detlint:ignore rangemap sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

@@ -53,8 +53,11 @@ func Text(img *prog.Image) []Entry {
 // Listing renders an annotated disassembly: addresses, raw words,
 // symbol labels, decoded instructions, and branch-target annotations.
 func Listing(img *prog.Image) string {
+	// SymbolNames is address- then name-sorted, so co-addressed labels
+	// print in a stable order.
 	labels := map[uint32][]string{}
-	for name, addr := range img.Symbols {
+	for _, name := range img.SymbolNames() {
+		addr := img.Symbols[name]
 		labels[addr] = append(labels[addr], name)
 	}
 	var b strings.Builder

@@ -1,0 +1,91 @@
+package dlxe
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+const bpc = uint32(isa.TextBase)
+
+// roundTrip encodes in, decodes it back, and requires identical bits
+// from a re-encode with matching op and immediate.
+func roundTrip(t *testing.T, in isa.Instr) {
+	t.Helper()
+	w, err := Encode(in, bpc)
+	if err != nil {
+		t.Fatalf("encode %q: %v", in.String(), err)
+	}
+	dec, err := Decode(w, bpc)
+	if err != nil {
+		t.Fatalf("decode %#08x (%q): %v", w, in.String(), err)
+	}
+	if dec.Op != in.Op || dec.Imm != in.Imm {
+		t.Fatalf("round trip %q -> %q (op %v imm %d)", in.String(), dec.String(), dec.Op, dec.Imm)
+	}
+	w2, err := Encode(dec, bpc)
+	if err != nil {
+		t.Fatalf("re-encode %q: %v", dec.String(), err)
+	}
+	if w2 != w {
+		t.Fatalf("re-encode %q: %#08x != %#08x", in.String(), w2, w)
+	}
+}
+
+func mustFail(t *testing.T, in isa.Instr) {
+	t.Helper()
+	if w, err := Encode(in, bpc); err == nil {
+		t.Fatalf("encode %q: got %#08x, want range error", in.String(), w)
+	}
+}
+
+// TestBranchBoundary16: branches carry a signed 16-bit byte displacement
+// in instruction-sized (4-byte) steps.
+func TestBranchBoundary16(t *testing.T) {
+	r5 := isa.R(5)
+	for _, imm := range []int32{-32768, -4, 0, 4, 32764} {
+		roundTrip(t, isa.Instr{Op: isa.BR, Imm: imm, HasImm: true})
+		roundTrip(t, isa.Instr{Op: isa.BZ, Rs1: r5, Imm: imm, HasImm: true})
+	}
+	mustFail(t, isa.Instr{Op: isa.BR, Imm: -32772, HasImm: true})
+	mustFail(t, isa.Instr{Op: isa.BR, Imm: 32768, HasImm: true})
+	mustFail(t, isa.Instr{Op: isa.BR, Imm: 6, HasImm: true}) // unaligned
+}
+
+// TestJTypeBoundary: the 26-bit J-format word offset reaches
+// [-2^25, 2^25) instructions.
+func TestJTypeBoundary(t *testing.T) {
+	j := func(op isa.Op, imm int32) isa.Instr {
+		return isa.Instr{Op: op, Imm: imm, HasImm: true}
+	}
+	lo := int32(-(1 << 25)) * 4
+	hi := int32((1<<25)-1) * 4
+	for _, imm := range []int32{lo, -4, 0, 4, hi} {
+		roundTrip(t, j(isa.J, imm))
+		roundTrip(t, j(isa.JL, imm))
+	}
+	mustFail(t, j(isa.J, lo-4))
+	mustFail(t, j(isa.J, hi+4))
+	mustFail(t, j(isa.J, 2)) // unaligned
+}
+
+// TestImm16Boundary: I-format immediates are signed 16-bit (memory
+// displacements, ALU immediates) or unsigned 16-bit (logical ops).
+func TestImm16Boundary(t *testing.T) {
+	r4, r5 := isa.R(4), isa.R(5)
+	mem := func(imm int32) isa.Instr { return isa.Instr{Op: isa.LD, Rd: r4, Rs1: r5, Imm: imm} }
+	for _, imm := range []int32{-32768, 0, 32767} {
+		roundTrip(t, mem(imm))
+	}
+	mustFail(t, mem(-32769))
+	mustFail(t, mem(32768))
+
+	andi := func(imm int32) isa.Instr {
+		return isa.Instr{Op: isa.ANDI, Rd: r4, Rs1: r5, Imm: imm, HasImm: true}
+	}
+	for _, imm := range []int32{0, 0xFFFF} {
+		roundTrip(t, andi(imm))
+	}
+	mustFail(t, andi(-1))
+	mustFail(t, andi(0x10000))
+}

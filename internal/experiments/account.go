@@ -133,7 +133,7 @@ func accountDiff(c *Ctx, benchName string, d16, dlxe *core.AccountRun) error {
 		f.dlxeCyc, f.dlxeBytes = fa.Cycles, fa.FetchBytes
 	}
 	names := make([]string, 0, len(fns))
-	for n := range fns {
+	for n := range fns { //detlint:ignore rangemap sorted immediately below
 		names = append(names, n)
 	}
 	// Hottest DLXe functions first; ties and D16-only functions by name.

@@ -113,7 +113,7 @@ func (d *dataLayout) bssOffsets(name string, off int32) {
 // 8-aligned, matching the assembler's layout).
 func (d *dataLayout) finalizeBSS() {
 	base := (d.cursor + 7) &^ 7
-	for name, off := range d.bssPending {
+	for name, off := range d.bssPending { //detlint:ignore rangemap map-to-map copy, order-free
 		d.offsets[name] = base + off
 	}
 }

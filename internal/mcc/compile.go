@@ -9,6 +9,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/prog"
 	"repro/internal/telemetry"
+	"repro/internal/verify"
 )
 
 // Compiled is the result of compiling an MC program for one target
@@ -41,15 +42,21 @@ func Compile(file, src string, spec *isa.Spec) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mcc: internal assembly error: %w\n--- generated source ---\n%s", err, numberLines(source))
 	}
+	// Mandatory post-codegen gate: no image that fails static
+	// verification (encoding ranges, CFG integrity, def-before-use,
+	// stack discipline) ever reaches the simulator.
+	if rep := verify.Image(img, spec); !rep.OK() {
+		return nil, fmt.Errorf("mcc: %s (%s): %w", file, spec.Name, rep.Err())
+	}
 	return &Compiled{Spec: spec, Asm: source, Image: img, Spills: spills}, nil
 }
 
 // timedPass runs one compiler pass, feeding its wall-clock time into the
 // per-pass duration histogram "mcc.pass.<name>.ns".
 func timedPass(name string, f func()) {
-	start := time.Now()
+	start := time.Now() //detlint:ignore timenow telemetry-only timing, never feeds output bytes
 	f()
-	telemetry.Default().Histogram("mcc.pass." + name + ".ns").Observe(time.Since(start).Nanoseconds())
+	telemetry.Default().Histogram("mcc.pass." + name + ".ns").Observe(time.Since(start).Nanoseconds()) //detlint:ignore timenow telemetry-only timing, never feeds output bytes
 }
 
 // instrCount is the optimizer's shrinkage measure: IR instructions

@@ -71,7 +71,8 @@ func localOpt(f *IRFunc, b *Block, spec *isa.Spec) bool {
 
 	kill := func(v VReg) {
 		delete(constVal, v)
-		for k, src := range copyOf {
+		for k, src := range copyOf { //detlint:ignore rangemap conditional deletes, order-free
+
 			if src == v || k == v {
 				delete(copyOf, k)
 			}
@@ -667,7 +668,7 @@ func Hoist(f *IRFunc, spec *isa.Spec, layout map[string]int32) {
 		// the preheader in a run-independent order or downstream vreg
 		// numbering (and with it allocation) becomes nondeterministic.
 		ids := make([]int, 0, len(loop.Blocks))
-		for id := range loop.Blocks {
+		for id := range loop.Blocks { //detlint:ignore rangemap sorted immediately below
 			ids = append(ids, id)
 		}
 		sort.Ints(ids)

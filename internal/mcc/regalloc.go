@@ -265,7 +265,7 @@ func moveHints(f *IRFunc) map[VReg][]VReg {
 func spillWeights(f *IRFunc) map[VReg]int64 {
 	depth := map[int]int{}
 	for _, l := range f.Loops {
-		for id := range l.Blocks {
+		for id := range l.Blocks { //detlint:ignore rangemap commutative counting, order-free
 			depth[id]++
 		}
 	}
@@ -335,7 +335,7 @@ func buildIntervals(f *IRFunc) ([]interval, []int, []int) {
 			b := f.Blocks[i]
 			out := liveOut[b.ID]
 			for _, s := range b.Succs() {
-				for v := range liveIn[s] {
+				for v := range liveIn[s] { //detlint:ignore rangemap set-union fixpoint, order-free
 					if !out[v] {
 						out[v] = true
 						changed = true
@@ -343,13 +343,13 @@ func buildIntervals(f *IRFunc) ([]interval, []int, []int) {
 				}
 			}
 			in := liveIn[b.ID]
-			for v := range useS[b.ID] {
+			for v := range useS[b.ID] { //detlint:ignore rangemap set-union fixpoint, order-free
 				if !in[v] {
 					in[v] = true
 					changed = true
 				}
 			}
-			for v := range out {
+			for v := range out { //detlint:ignore rangemap set-union fixpoint, order-free
 				if !defS[b.ID][v] && !in[v] {
 					in[v] = true
 					changed = true
@@ -386,10 +386,10 @@ func buildIntervals(f *IRFunc) ([]interval, []int, []int) {
 	idx = 1
 	for _, b := range f.Blocks {
 		r := ranges[b.ID]
-		for v := range liveIn[b.ID] {
+		for v := range liveIn[b.ID] { //detlint:ignore rangemap min/max accumulation, order-free
 			touch(v, r.start)
 		}
-		for v := range liveOut[b.ID] {
+		for v := range liveOut[b.ID] { //detlint:ignore rangemap min/max accumulation, order-free
 			touch(v, r.end)
 		}
 		for i := range b.Ins {

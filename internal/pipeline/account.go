@@ -185,7 +185,8 @@ func (e *Engine) PerFunc(st *sim.SymTable) []FuncAccount {
 		fa.FetchBytes += row.FetchBytes
 	}
 	out := make([]FuncAccount, 0, len(byIdx))
-	for _, fa := range byIdx {
+	for _, fa := range byIdx { //detlint:ignore rangemap sorted immediately below
+
 		fa.Cycles = fa.Buckets.Sum()
 		out = append(out, *fa)
 	}

@@ -14,6 +14,15 @@ import (
 	"repro/internal/isa"
 )
 
+// Range is a half-open [Start, End) span of text-segment addresses that
+// holds no instructions: literal-pool words, alignment padding, and data
+// directives placed in .text. The verifier skips these when decoding and
+// rejects control transfers into them.
+type Range struct {
+	Start uint32
+	End   uint32
+}
+
 // Image is a linked, loadable program.
 type Image struct {
 	// Enc is the instruction encoding of the text segment.
@@ -37,6 +46,35 @@ type Image struct {
 	TextInstrs int
 	// PoolBytes is the number of literal-pool bytes embedded in text.
 	PoolBytes int
+
+	// NonCode lists text-segment byte ranges holding no instructions
+	// (literal pools, alignment padding, in-text data), sorted by Start
+	// with adjacent ranges merged.
+	NonCode []Range
+}
+
+// AddNonCode records [start, end) as a non-instruction text range,
+// keeping NonCode sorted and merged. Ranges are appended in address
+// order by the assembler, so the common case is a constant-time merge
+// with the last range.
+func (im *Image) AddNonCode(start, end uint32) {
+	if end <= start {
+		return
+	}
+	if n := len(im.NonCode); n > 0 && im.NonCode[n-1].End >= start && im.NonCode[n-1].Start <= start {
+		if end > im.NonCode[n-1].End {
+			im.NonCode[n-1].End = end
+		}
+		return
+	}
+	im.NonCode = append(im.NonCode, Range{Start: start, End: end})
+	sort.Slice(im.NonCode, func(i, j int) bool { return im.NonCode[i].Start < im.NonCode[j].Start })
+}
+
+// InNonCode reports whether addr falls inside a recorded non-code range.
+func (im *Image) InNonCode(addr uint32) bool {
+	i := sort.Search(len(im.NonCode), func(i int) bool { return im.NonCode[i].End > addr })
+	return i < len(im.NonCode) && im.NonCode[i].Start <= addr
 }
 
 // Size returns the stripped binary size in bytes (text + initialized
@@ -76,7 +114,7 @@ func (im *Image) Lookup(name string) (uint32, bool) {
 // profiling).
 func (im *Image) SymbolNames() []string {
 	names := make([]string, 0, len(im.Symbols))
-	for n := range im.Symbols {
+	for n := range im.Symbols { //detlint:ignore rangemap sorted immediately below
 		names = append(names, n)
 	}
 	sort.Slice(names, func(i, j int) bool {
@@ -90,11 +128,16 @@ func (im *Image) SymbolNames() []string {
 }
 
 // SymbolAt returns the name of the closest symbol at or below addr within
-// the text segment, for trace annotation.
+// the text segment, for trace annotation. Ties between symbols at the
+// same address break toward the lexicographically smallest name, so the
+// annotation never depends on map iteration order.
 func (im *Image) SymbolAt(addr uint32) string {
 	best, bestAddr := "", uint32(0)
-	for n, a := range im.Symbols {
-		if a <= addr && a >= bestAddr && a >= isa.TextBase && a < im.TextEnd() {
+	for n, a := range im.Symbols { //detlint:ignore rangemap max with deterministic name tie-break, order-independent
+		if a > addr || a < isa.TextBase || a >= im.TextEnd() {
+			continue
+		}
+		if best == "" || a > bestAddr || (a == bestAddr && n < best) {
 			best, bestAddr = n, a
 		}
 	}

@@ -175,7 +175,7 @@ func (p *Profile) String() string {
 func (p *Profile) Folded() string {
 	p.flush()
 	keys := make([]string, 0, len(p.folded))
-	for k := range p.folded {
+	for k := range p.folded { //detlint:ignore rangemap sorted immediately below
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -197,7 +197,8 @@ type EdgeCount struct {
 // sorted by caller then callee.
 func (p *Profile) Edges() []EdgeCount {
 	out := make([]EdgeCount, 0, len(p.edges))
-	for e, n := range p.edges {
+	for e, n := range p.edges { //detlint:ignore rangemap sorted immediately below
+
 		out = append(out, EdgeCount{p.symName(e.caller), p.symName(e.callee), n})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -28,7 +28,8 @@ func NewSymTable(img *prog.Image) *SymTable {
 		addr uint32
 	}
 	var syms []sym
-	for name, addr := range img.Symbols {
+	for name, addr := range img.Symbols { //detlint:ignore rangemap sorted immediately below
+
 		if addr >= isa.TextBase && addr < img.TextEnd() && !strings.HasPrefix(name, ".") {
 			syms = append(syms, sym{name, addr})
 		}

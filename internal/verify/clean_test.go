@@ -1,0 +1,41 @@
+package verify_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/mcc"
+	"repro/internal/verify"
+)
+
+// TestSeedBenchmarksClean proves the acceptance criterion that every
+// seed benchmark verifies with zero violations on every paper
+// configuration (both encodings, all register/arity restrictions, and
+// the D16+ ablation target).
+func TestSeedBenchmarksClean(t *testing.T) {
+	specs := append(isa.PaperConfigs(), isa.D16Plus())
+	for _, b := range bench.All() {
+		for _, spec := range specs {
+			b, spec := b, spec
+			t.Run(fmt.Sprintf("%s/%s", b.Name, spec.Name), func(t *testing.T) {
+				t.Parallel()
+				c, err := mcc.Compile(b.Name+".mc", b.Source, spec)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				rep := verify.Image(c.Image, spec)
+				if !rep.OK() {
+					var sb strings.Builder
+					rep.WriteTable(&sb)
+					t.Fatalf("image not clean:\n%s", sb.String())
+				}
+				if rep.Reached == 0 || rep.Funcs == 0 {
+					t.Fatalf("degenerate report: %+v", rep)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// FuzzVerify feeds arbitrary byte streams to the verifier as text
+// segments. Two properties must hold:
+//
+//  1. the verifier never panics, whatever the bytes decode to;
+//  2. any stream it passes clean executes without an encoding trap —
+//     a clean report means every reachable word decodes, so the
+//     simulator must never fault on "executing undecodable word".
+func FuzzVerify(f *testing.F) {
+	// Seed with real assembled programs (one per encoding) and a few
+	// degenerate shapes.
+	for _, s := range []struct {
+		src  string
+		spec *isa.Spec
+	}{
+		{"\t.text\n_start:\n\tmvi r4, 7\n\taddi r4, r4, 1\n\ttrap 0\n\tnop\n", isa.D16()},
+		{"\t.text\n_start:\n\tadd r4, r5, r6\n\tbz r4, .out\n\tnop\n.out:\n\ttrap 0\n\tnop\n", isa.DLXe()},
+	} {
+		img, err := asm.Assemble("seed.s", s.src, s.spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(s.spec.Enc == isa.EncD16, img.Text)
+	}
+	f.Add(true, []byte{})
+	f.Add(false, []byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, d16 bool, text []byte) {
+		spec := isa.DLXe()
+		if d16 {
+			spec = isa.D16()
+		}
+		ib := int(spec.InstrBytes())
+		if len(text) > 4096 {
+			text = text[:4096]
+		}
+		text = text[:len(text)/ib*ib]
+		img := &prog.Image{
+			Enc:     spec.Enc,
+			Text:    text,
+			Entry:   isa.TextBase,
+			Symbols: map[string]uint32{"_start": isa.TextBase},
+		}
+
+		rep := verify.Image(img, spec) // must not panic
+		if !rep.OK() {
+			return
+		}
+
+		m, err := sim.New(img)
+		if err != nil {
+			return // image malformed for the machine (e.g. empty text)
+		}
+		if err := m.Run(10000); err != nil &&
+			strings.Contains(err.Error(), "undecodable") {
+			t.Fatalf("verified clean but executed an undecodable word: %v", err)
+		}
+	})
+}

@@ -1,0 +1,13 @@
+; negative: f overwrites callee-saved r7 and returns without restoring it.
+	.text
+	.global _start
+_start:
+	jl f
+	nop
+	trap 0
+	nop
+f:
+	mvi r7, 1
+	j r1            ; <- r7 not restored at return
+	nop
+	.pool

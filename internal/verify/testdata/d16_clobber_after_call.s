@@ -1,0 +1,13 @@
+; negative: argument registers do not survive a call.
+	.text
+	.global _start
+_start:
+	jl f
+	nop
+	mv r5, r4       ; <- r4 clobbered by the call
+	trap 0
+	nop
+f:
+	j r1
+	nop
+	.pool

@@ -1,0 +1,9 @@
+; negative: the delay slot of the first branch holds another branch.
+	.text
+	.global _start
+_start:
+	b .out
+	b .out          ; <- control transfer in a delay slot
+.out:
+	trap 0
+	nop

@@ -1,0 +1,7 @@
+; negative: the global pointer is the ABI's one pinned register.
+	.text
+	.global _start
+_start:
+	mvi r13, 0      ; <- r13 overwritten
+	trap 0
+	nop

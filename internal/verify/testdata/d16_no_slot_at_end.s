@@ -1,0 +1,5 @@
+; negative: a control transfer as the last word of text has no delay slot.
+	.text
+	.global _start
+_start:
+	b _start        ; <- no delay slot (end of code)

@@ -1,0 +1,13 @@
+; negative: f moves sp down and returns without restoring it.
+	.text
+	.global _start
+_start:
+	jl f
+	nop
+	trap 0
+	nop
+f:
+	subi r2, r2, 8
+	j r1            ; <- sp off by -8 at return
+	nop
+	.pool

@@ -1,0 +1,7 @@
+; negative: r14 is caller-scratch, undefined at entry.
+	.text
+	.global _start
+_start:
+	mv r4, r14      ; <- r14 read but never written
+	trap 0
+	nop

@@ -1,0 +1,11 @@
+; negative: two instructions no path reaches.
+	.text
+	.global _start
+_start:
+	b .out
+	nop
+	mvi r4, 1       ; <- unreachable
+	mvi r4, 2
+.out:
+	trap 0
+	nop

@@ -1,0 +1,13 @@
+; negative: a call must land on a function entry, not mid-body.
+	.text
+	.global _start
+_start:
+	jl .mid         ; <- call into the middle of f
+	nop
+	trap 0
+	nop
+f:
+	nop
+.mid:
+	j r1
+	nop

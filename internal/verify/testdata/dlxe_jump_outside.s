@@ -1,0 +1,7 @@
+; negative: register jump to a constant below the text base.
+	.text
+	.global _start
+_start:
+	li r14, 256     ; 0x100, below TextBase
+	j r14           ; <- target outside the text segment
+	nop

@@ -1,0 +1,7 @@
+; negative: rdsr with no reaching FP compare reads junk status.
+	.text
+	.global _start
+_start:
+	rdsr r4         ; <- no fcmp on any path here
+	trap 0
+	nop

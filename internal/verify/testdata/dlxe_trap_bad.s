@@ -1,0 +1,7 @@
+; negative: only trap codes 0-4 are serviced by the simulator.
+	.text
+	.global _start
+_start:
+	trap 9          ; <- unserviced trap code
+	trap 0
+	nop

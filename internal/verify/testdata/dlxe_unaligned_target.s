@@ -1,0 +1,7 @@
+; negative: register jump to a constant that is not instruction-aligned.
+	.text
+	.global _start
+_start:
+	li r14, 4099    ; 0x1003, inside text but unaligned
+	j r14           ; <- target not instruction-aligned
+	nop
