@@ -6,9 +6,9 @@
 TMP := /tmp/repro-make
 BIN := $(TMP)/bin
 
-.PHONY: check build test vet lint verify fuzz-short smoke determinism serve-smoke bench clean
+.PHONY: check build test vet lint verify fuzz-short smoke store-smoke determinism serve-smoke bench clean
 
-check: vet lint build test fuzz-short verify smoke determinism serve-smoke
+check: vet lint build test fuzz-short verify smoke store-smoke determinism serve-smoke
 
 vet:
 	go vet ./...
@@ -57,6 +57,16 @@ smoke: $(BIN)/repro
 	$(BIN)/repro -run fig4 -json $(TMP)/smoke >/dev/null
 	@test -s $(TMP)/smoke/fig4.json && echo "smoke ok: $(TMP)/smoke/fig4.json"
 
+# Store smoke: a run writes the columnar measurement store alongside the
+# JSON, a second run reproduces it byte for byte, and the query CLI can
+# read it back (docs/STORE.md).
+store-smoke: $(BIN)/repro
+	$(BIN)/repro -run fig4 -json $(TMP)/store-a -timing=false >/dev/null
+	$(BIN)/repro -run fig4 -json $(TMP)/store-b -timing=false >/dev/null
+	cmp $(TMP)/store-a/points.mcst $(TMP)/store-b/points.mcst
+	$(BIN)/repro -query 'by=cycles top=3' -store $(TMP)/store-a/points.mcst | grep -q '"matched"'
+	@echo "store smoke ok: $(TMP)/store-a/points.mcst round-trips and reproduces"
+
 # Determinism guard: the same experiment run twice — once sequentially,
 # once in parallel through the job scheduler — must produce
 # byte-identical stdout and structured output (-timing=false strips the
@@ -72,7 +82,9 @@ determinism: $(BIN)/repro
 	cmp $(TMP)/det-a.out $(TMP)/det-j8.out
 	cmp $(TMP)/det-a/fig4.json $(TMP)/det-j8/fig4.json
 	cmp $(TMP)/det-a/summary.json $(TMP)/det-j8/summary.json
-	@echo "determinism ok: -jobs 1 and -jobs 8 byte-identical"
+	cmp $(TMP)/det-a/points.mcst $(TMP)/det-b/points.mcst
+	cmp $(TMP)/det-a/points.mcst $(TMP)/det-j8/points.mcst
+	@echo "determinism ok: -jobs 1 and -jobs 8 byte-identical (incl. points.mcst)"
 
 # Service smoke: boot simd, hit /healthz, run the same one-point batch
 # twice (the repeat must be served from the result cache with an

@@ -21,14 +21,16 @@ type Report struct {
 }
 
 // Result is one benchmark's metrics. NsPerOp and AllocsPerOp are
-// higher-is-worse; InstrsPerSec (simulator throughput, zero when not
-// applicable) is lower-is-worse.
+// higher-is-worse; InstrsPerSec (simulator throughput) and PointsPerSec
+// (measurement-store append/scan throughput) are lower-is-worse and zero
+// when not applicable.
 type Result struct {
 	Name         string  `json:"name"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	InstrsPerSec float64 `json:"instrs_per_sec,omitempty"`
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
 }
 
 // Delta is one metric's old-vs-new comparison. Ratio is new/old for
@@ -60,6 +62,7 @@ func Compare(old, cur *Report, threshold float64) []Delta {
 		out = append(out, compareMetric(r.Name, "ns_per_op", p.NsPerOp, r.NsPerOp, false, threshold)...)
 		out = append(out, compareMetric(r.Name, "allocs_per_op", p.AllocsPerOp, r.AllocsPerOp, false, threshold)...)
 		out = append(out, compareMetric(r.Name, "instrs_per_sec", p.InstrsPerSec, r.InstrsPerSec, true, threshold)...)
+		out = append(out, compareMetric(r.Name, "points_per_sec", p.PointsPerSec, r.PointsPerSec, true, threshold)...)
 	}
 	return out
 }

@@ -11,9 +11,14 @@
 //	perfgate -bench 'fig4|sim'  # only benchmarks matching the regexp
 //	perfgate -threshold 0.25    # tolerate up to 25% noise
 //	perfgate -benchtime 1x      # single iteration (fast, noisy)
+//	perfgate -surface a.mcst,b.mcst
+//	                            # diff two stored measurement surfaces
+//	                            # instead; exit 1 on any >threshold
+//	                            # cycle regression (see docs/STORE.md)
 //
 // The first run has no baseline and always passes. ns/op and allocs/op
-// regress when they grow; simulator instrs/sec regresses when it drops.
+// regress when they grow; simulator instrs/sec and store points/sec
+// regress when they drop.
 // See docs/OBSERVABILITY.md for the BENCH_*.json schema.
 package main
 
@@ -42,8 +47,15 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "relative slowdown that fails the gate")
 	benchtime := flag.String("benchtime", "1s", "testing -benchtime value per benchmark (heavy experiments still run once; cheap ones iterate to stability)")
 	pattern := flag.String("bench", "", "only run benchmarks whose name matches this regexp")
+	surface := flag.String("surface", "", "diff two measurement stores (baseline.mcst,current.mcst) instead of running benchmarks")
 	testing.Init()
 	flag.Parse()
+	if *surface != "" {
+		if err := runSurface(*surface, *threshold); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fatal(err)
 	}
@@ -104,6 +116,13 @@ func main() {
 	}
 	if sel.MatchString("sim/throughput") {
 		r, err := benchSimThroughput()
+		if err != nil {
+			fatal(err)
+		}
+		cur.Benchmarks = append(cur.Benchmarks, r)
+	}
+	if sel.MatchString("store/throughput") {
+		r, err := benchStoreThroughput()
 		if err != nil {
 			fatal(err)
 		}

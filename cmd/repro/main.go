@@ -30,9 +30,18 @@
 //	                                # 8-worker simulation scheduler; output
 //	                                # is assembled in submission order and
 //	                                # stays byte-identical to -jobs 1
+//	repro -query 'bench=queens by=cycles top=5' -store out/points.mcst
+//	                                # filter/rank the columnar measurement
+//	                                # store a -json run wrote; the JSON
+//	                                # answer is byte-identical to simd's
+//	                                # GET /v1/query for the same filter
 //
-// See docs/OBSERVABILITY.md for the file formats and docs/SERVICE.md
-// for the scheduler the parallel mode runs on.
+// With -json, the run also writes out/points.mcst: the columnar
+// measurement store (one point per bench × config × bus × wait states,
+// with exact per-cause cycle buckets). See docs/STORE.md for the
+// format, the query grammar and the diff semantics, and
+// docs/OBSERVABILITY.md for the other file formats; docs/SERVICE.md
+// covers the scheduler the parallel mode runs on.
 package main
 
 import (
@@ -47,6 +56,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -60,10 +70,20 @@ func main() {
 	listen := flag.String("listen", "", "serve /debug/pprof and /metrics on this address for the duration of the run")
 	timing := flag.Bool("timing", true, "stamp elapsed wall-clock seconds into per-experiment JSON (disable for byte-identical reruns)")
 	jobsN := flag.Int("jobs", 1, "simulation workers; >1 runs experiments concurrently through the job scheduler, with output assembled in deterministic submission order")
+	query := flag.String("query", "", "query the columnar measurement store instead of running experiments: key=value filter terms (bench, config/isa, bus, waits, cachekb, by, top; see docs/STORE.md)")
+	storePath := flag.String("store", "", "measurement store file for -query (default <dir>/points.mcst next to -json output, see docs/STORE.md)")
 	flag.Parse()
 
 	if *listen != "" {
 		serveDebug(*listen)
+	}
+
+	if *query != "" || *storePath != "" {
+		if err := runQuery(*storePath, *query, *jsonDir); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(2)
+		}
+		return
 	}
 
 	if *list {
@@ -274,15 +294,20 @@ func runAccount(ctx *experiments.Ctx, jsonDir string, timing bool) error {
 }
 
 // writeSummary exports every memoized measurement's scalars
-// (summary.json) and a metrics snapshot combining the process-wide
-// registry (compiler counters, per-pass timings) with the measurements'
-// registered model counters (metrics.json).
+// (summary.json), the columnar measurement surface (points.mcst, see
+// docs/STORE.md — what repro -query and simd /v1/query answer from),
+// and a metrics snapshot combining the process-wide registry (compiler
+// counters, per-pass timings) with the measurements' registered model
+// counters (metrics.json).
 func writeSummary(lab *core.Lab, dir string) error {
 	rows := lab.Summary()
 	err := telemetry.WriteJSONFile(filepath.Join(dir, "summary.json"), struct {
 		Rows []core.SummaryRow `json:"rows"`
 	}{rows})
 	if err != nil {
+		return err
+	}
+	if err := store.WriteFile(filepath.Join(dir, "points.mcst"), lab.Points()); err != nil {
 		return err
 	}
 

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/store"
+)
+
+// runQuery answers `repro -query` from a columnar measurement store:
+// parse the filter grammar, load the store, and print the result as
+// indented JSON. The document is store.QueryResult encoded exactly the
+// way simd's GET /v1/query encodes it, so the CLI and the service give
+// byte-identical answers for the same store and filter.
+func runQuery(storePath, filterStr, jsonDir string) error {
+	if storePath == "" {
+		if jsonDir != "" {
+			storePath = filepath.Join(jsonDir, "points.mcst")
+		} else {
+			storePath = "points.mcst"
+		}
+	}
+	f, err := store.ParseFilter(filterStr)
+	if err != nil {
+		return err
+	}
+	pts, err := store.ReadFile(storePath)
+	if err != nil {
+		return fmt.Errorf("-query needs a store file written by `repro -run ... -json <dir>`: %w", err)
+	}
+	res, err := store.Query(pts, f)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -7,14 +7,21 @@
 // Endpoints:
 //
 //	POST /v1/batch    run a batch of measurement/experiment points
+//	GET  /v1/query    filter/top-N over the stored measurement surface
+//	POST /v1/diff     A/B diff of two surfaces (worst movers per bucket)
 //	GET  /healthz     liveness + scheduler snapshot
 //	GET  /metrics     Prometheus text format (jobs_* scheduler metrics,
-//	                  compiler counters, model metrics)
+//	                  compiler counters, model metrics, request latency)
 //	GET  /debug/pprof CPU/heap/goroutine profiles
 //
 // Results are content-addressed: repeating a batch is served from the
 // result cache with a byte-identical body. A full queue returns 503
 // with Retry-After. SIGINT/SIGTERM drains in-flight jobs before exit.
+//
+// Every request gets an ID (echoed in X-Request-Id), propagated into
+// scheduler spans, and — unless -quiet — one structured key=value
+// access-log line. -store attaches a columnar store file (docs/STORE.md):
+// its points seed /v1/query and new measurements are appended to it.
 // See docs/SERVICE.md for the API and semantics.
 package main
 
@@ -41,6 +48,8 @@ func main() {
 	queue := flag.Int("queue", 128, "scheduler queue depth before /v1/batch returns 503")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-simulation timeout")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight work")
+	storePath := flag.String("store", "", "columnar measurement store file (.mcst) to serve /v1/query from and append new measurements to")
+	quiet := flag.Bool("quiet", false, "suppress the per-request access log")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -58,9 +67,15 @@ func main() {
 		DefaultTimeout: *timeout,
 		Registry:       telemetry.Default(),
 	}))
+	app := newServer(lab, telemetry.Default())
+	if *storePath != "" {
+		if err := app.loadStore(*storePath); err != nil {
+			log.Fatalf("simd: -store %s: %v", *storePath, err)
+		}
+	}
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           newServer(lab, telemetry.Default()).handler(),
+		Handler:           accessLog(app.handler(), telemetry.Default(), *quiet),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// handleQuery answers GET /v1/query over the server's measurement
+// surface (the -store file loaded at boot plus every point measured by
+// batches since). Query parameters mirror the filter grammar: bench,
+// config (alias isa), bus, waits, cachekb, by, top. The response is
+// store.QueryResult with two-space indentation — byte-identical to
+// `repro -query` over the same points and filter.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	f, err := filterFromURL(r.URL.Query())
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := store.Query(s.snapshotPoints(), f)
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	statsFrom(r.Context()).annotate("matched", strconv.Itoa(res.Matched))
+	writeJSON(w, res)
+}
+
+// filterFromURL builds the store filter from URL query parameters,
+// reusing the grammar parser so the CLI and the service accept exactly
+// the same keys and values.
+func filterFromURL(q url.Values) (store.Filter, error) {
+	var terms []string
+	for _, k := range []string{"bench", "config", "isa", "bus", "waits", "cachekb", "by", "top"} {
+		if v := q.Get(k); v != "" {
+			terms = append(terms, k+"="+v)
+		}
+	}
+	for k := range q {
+		switch k {
+		case "bench", "config", "isa", "bus", "waits", "cachekb", "by", "top":
+		default:
+			return store.Filter{}, fmt.Errorf("unknown query parameter %q", k)
+		}
+	}
+	return store.ParseFilter(strings.Join(terms, " "))
+}
+
+// diffRequest is the body of POST /v1/diff: two surfaces to compare,
+// each given either inline as points or as a store-file path readable
+// by the server (the A side is the baseline).
+type diffRequest struct {
+	A     []store.Point `json:"a,omitempty"`
+	B     []store.Point `json:"b,omitempty"`
+	AFile string        `json:"a_file,omitempty"`
+	BFile string        `json:"b_file,omitempty"`
+	store.DiffOptions
+}
+
+// handleDiff answers POST /v1/diff: an A/B comparison of two stored
+// surfaces, reporting per-point cycle deltas, the worst movers per
+// cycle bucket, and regression counts against the threshold.
+func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req diffRequest
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	side := func(inline []store.Point, file, name string) ([]store.Point, error) {
+		switch {
+		case len(inline) > 0 && file != "":
+			return nil, fmt.Errorf("side %s: give points inline or as a file, not both", name)
+		case len(inline) > 0:
+			for i := range inline {
+				if err := inline[i].Validate(); err != nil {
+					return nil, fmt.Errorf("side %s: %w", name, err)
+				}
+			}
+			return inline, nil
+		case file != "":
+			return store.ReadFile(file)
+		default:
+			return nil, fmt.Errorf("side %s: need %q (inline points) or %q (store file path)",
+				name, strings.ToLower(name), strings.ToLower(name)+"_file")
+		}
+	}
+	a, err := side(req.A, req.AFile, "A")
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	b, err := side(req.B, req.BFile, "B")
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	rep := store.Diff(a, b, req.DiffOptions)
+	statsFrom(r.Context()).annotate("matched", strconv.Itoa(rep.Matched))
+	statsFrom(r.Context()).annotate("regressed", strconv.Itoa(rep.Regressed))
+	writeJSON(w, rep)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers are gone; nothing to report
+}

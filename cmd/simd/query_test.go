@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// newStoreServer is newTestServer plus an attached store file in a temp
+// dir, returning the inner *server so tests can reach the surface.
+func newStoreServer(t *testing.T, workers int) (*httptest.Server, *server, string) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	sched := jobs.New(jobs.Config{Workers: workers, Registry: reg})
+	lab := core.NewLabWith(sched)
+	app := newServer(lab, reg)
+	path := filepath.Join(t.TempDir(), "points.mcst")
+	if err := app.loadStore(path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(app.handler())
+	t.Cleanup(ts.Close)
+	return ts, app, path
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestQueryEndpoint runs a batch, then checks /v1/query filters the
+// resulting surface, matches the store package's own encoding byte for
+// byte (the repro -query identity contract), and persists the points to
+// the attached store file.
+func TestQueryEndpoint(t *testing.T) {
+	ts, app, path := newStoreServer(t, 2)
+
+	if code, body := post(t, ts.URL+"/v1/batch", `{"points":[
+		{"bench":"queens","config":"d16"},
+		{"bench":"queens","config":"dlxe"}
+	]}`); code != http.StatusOK || strings.Contains(body, `"error"`) {
+		t.Fatalf("batch: %d %s", code, body)
+	}
+
+	code, got := get(t, ts.URL+"/v1/query?bench=queens&isa=D16/16/2&by=cycles&top=3")
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, got)
+	}
+
+	// The service must encode exactly what the store package computes —
+	// the same contract `repro -query` honors, so CLI and service give
+	// byte-identical answers over the same surface.
+	f, err := store.ParseFilter("bench=queens isa=D16/16/2 by=cycles top=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := store.Query(app.snapshotPoints(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	enc := json.NewEncoder(&want)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		t.Fatal(err)
+	}
+	if got != want.String() {
+		t.Fatalf("service and store encodings differ:\nservice:\n%s\nstore:\n%s", got, want.String())
+	}
+	if res.Matched != 8 || len(res.Points) != 3 {
+		t.Fatalf("query matched %d points, returned %d; want 8 matched, 3 returned", res.Matched, len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Bench != "queens" || p.Config != "D16/16/2" {
+			t.Fatalf("filter leak: got point %s", p.Key())
+		}
+	}
+
+	// The batch's points were appended to the attached store file.
+	onDisk, err := store.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(store.Canon(onDisk)) != 16 {
+		t.Fatalf("store file has %d canonical points, want 16 (2 configs × 8 grid points)", len(store.Canon(onDisk)))
+	}
+}
+
+func TestQueryBadRequests(t *testing.T) {
+	ts, _, _ := newStoreServer(t, 1)
+	if code, body := get(t, ts.URL+"/v1/query?bogus=1"); code != http.StatusBadRequest {
+		t.Fatalf("unknown param: %d %s", code, body)
+	}
+	if code, body := get(t, ts.URL+"/v1/query?by=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("unknown metric: %d %s", code, body)
+	}
+	if code, body := post(t, ts.URL+"/v1/query", "{}"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/query: %d %s", code, body)
+	}
+}
+
+// TestDiffEndpoint feeds /v1/diff two inline surfaces where one point
+// has +15% cycles injected into its ifetch_wait bucket, and checks the
+// report pinpoints exactly that point and bucket.
+func TestDiffEndpoint(t *testing.T) {
+	ts, _, _ := newStoreServer(t, 1)
+
+	mk := func(benchName string, cycles, ifetch int64) store.Point {
+		p := store.Point{
+			Bench: benchName, Config: "D16/16/2", BusBytes: 4, WaitStates: 2,
+			Cycles: cycles, Instrs: 100,
+		}
+		p.Buckets[store.BUseful] = cycles - ifetch
+		p.Buckets[store.BIFetchWait] = ifetch
+		return p
+	}
+	a := []store.Point{mk("sieve", 1000, 200), mk("queens", 2000, 400)}
+	b := []store.Point{mk("sieve", 1150, 350), mk("queens", 2000, 400)} // +15% on sieve, all in ifetch_wait
+
+	ab, err := json.Marshal(map[string]any{"a": a, "b": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, got := post(t, ts.URL+"/v1/diff", string(ab))
+	if code != http.StatusOK {
+		t.Fatalf("diff: %d %s", code, got)
+	}
+	var rep store.DiffReport
+	if err := json.Unmarshal([]byte(got), &rep); err != nil {
+		t.Fatalf("diff body: %v\n%s", err, got)
+	}
+	if rep.Matched != 2 || rep.Regressed != 1 || rep.Improved != 0 {
+		t.Fatalf("diff report: matched=%d regressed=%d improved=%d, want 2/1/0", rep.Matched, rep.Regressed, rep.Improved)
+	}
+	worst := rep.Deltas[0]
+	if worst.Bench != "sieve" || worst.WorstBucket != "ifetch_wait" {
+		t.Fatalf("worst mover: %+v, want sieve/ifetch_wait", worst)
+	}
+	if worst.Rel < 0.149 || worst.Rel > 0.151 {
+		t.Fatalf("worst mover rel = %v, want ~0.15", worst.Rel)
+	}
+}
+
+func TestDiffBadRequests(t *testing.T) {
+	ts, _, _ := newStoreServer(t, 1)
+	if code, body := post(t, ts.URL+"/v1/diff", `{`); code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %d %s", code, body)
+	}
+	if code, body := post(t, ts.URL+"/v1/diff", `{}`); code != http.StatusBadRequest {
+		t.Fatalf("empty sides: %d %s", code, body)
+	}
+	if code, body := post(t, ts.URL+"/v1/diff", `{"a_file":"/nonexistent.mcst","b_file":"/nonexistent.mcst"}`); code != http.StatusBadRequest {
+		t.Fatalf("missing files: %d %s", code, body)
+	}
+	// A leaky bucket attribution must be rejected at the door.
+	if code, body := post(t, ts.URL+"/v1/diff",
+		`{"a":[{"bench":"x","config":"c","cycles":10}],"b":[{"bench":"x","config":"c","cycles":10}]}`); code != http.StatusBadRequest {
+		t.Fatalf("invalid points: %d %s", code, body)
+	}
+	if code, body := get(t, ts.URL+"/v1/diff"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/diff: %d %s", code, body)
+	}
+}
+
+// TestStoreReload checks the append-only persistence loop: points
+// written by one server instance are served by the next one attached to
+// the same file.
+func TestStoreReload(t *testing.T) {
+	ts, app, path := newStoreServer(t, 1)
+	if code, body := post(t, ts.URL+"/v1/batch", `{"points":[{"bench":"towers","config":"d16"}]}`); code != http.StatusOK || strings.Contains(body, `"error"`) {
+		t.Fatalf("batch: %d %s", code, body)
+	}
+	ts.Close()
+
+	reg := telemetry.NewRegistry()
+	app2 := newServer(core.NewLabWith(jobs.New(jobs.Config{Workers: 1, Registry: reg})), reg)
+	if err := app2.loadStore(path); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(app2.snapshotPoints()), len(app.snapshotPoints()); got != want || got == 0 {
+		t.Fatalf("reloaded %d points, want %d (>0)", got, want)
+	}
+}

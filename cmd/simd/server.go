@@ -7,14 +7,17 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/isa"
 	"repro/internal/jobs"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/verify"
 )
@@ -57,19 +60,70 @@ type batchResponse struct {
 }
 
 // server is the HTTP face of the simulation lab. Handlers are safe for
-// concurrent use: all shared state lives behind the lab's scheduler.
+// concurrent use: simulation state lives behind the lab's scheduler and
+// the measurement surface behind its own lock.
 type server struct {
 	lab *core.Lab
 	reg *telemetry.Registry
+
+	// The measurement surface /v1/query answers over: the -store file
+	// loaded at boot plus every point measured by batches since. Kept
+	// canonical (sorted, deduped) under mu; storePath, when set, gets
+	// each batch's new points appended as a block.
+	mu        sync.RWMutex
+	points    []store.Point
+	storePath string
 }
 
 func newServer(lab *core.Lab, reg *telemetry.Registry) *server {
 	return &server{lab: lab, reg: reg}
 }
 
+// loadStore attaches a columnar store file to the server: existing
+// points seed the query surface, and new measurements are appended to
+// the file after each batch. A missing file is fine — it is created on
+// first append.
+func (s *server) loadStore(path string) error {
+	pts, err := store.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.storePath = path
+	s.points = store.Canon(append(s.points, pts...))
+	return nil
+}
+
+// snapshotPoints returns the current canonical surface. The slice is
+// never mutated after publication, so callers may read it lock-free.
+func (s *server) snapshotPoints() []store.Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.points
+}
+
+// addPoints merges freshly measured points into the surface and, when a
+// store file is attached, appends them as a new block (append-only: the
+// existing bytes are never rewritten; readers dedupe by key).
+func (s *server) addPoints(pts []store.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.points = store.Canon(append(s.points, pts...))
+	if s.storePath == "" {
+		return nil
+	}
+	return store.AppendFile(s.storePath, pts)
+}
+
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/diff", s.handleDiff)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -155,6 +209,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Phase 2: collect in request order.
+	stats := statsFrom(r.Context())
+	var newPts []store.Point
 	for i, p := range req.Points {
 		res := &results[i]
 		switch {
@@ -167,8 +223,15 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				res.Error = err.Error()
 				continue
 			}
-			row := v.(*core.Measurement).Summary()
+			if tickets[i].Cached() {
+				stats.cacheHits.Add(1)
+			} else {
+				stats.cacheMisses.Add(1)
+			}
+			m := v.(*core.Measurement)
+			row := m.Summary()
 			res.Summary = &row
+			newPts = append(newPts, m.Points()...)
 		case p.Experiment != "" && res.Error == "":
 			rec, err := runExperimentPoint(s.lab, p.Experiment)
 			if err != nil {
@@ -177,6 +240,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			res.Tables = rec
 		}
+	}
+
+	if err := s.addPoints(newPts); err != nil {
+		// The measurements themselves succeeded; a store-append failure
+		// only degrades the query surface, so report it out of band.
+		stats.annotate("store_error", fmt.Sprintf("%q", err.Error()))
 	}
 
 	w.Header().Set("Content-Type", "application/json")

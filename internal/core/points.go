@@ -1,0 +1,55 @@
+package core
+
+import (
+	"repro/internal/memsys"
+	"repro/internal/store"
+)
+
+// pointWaitStates is the wait-state grid a measurement expands into —
+// the same ℓ = 0..3 range SummaryRow reports CPI over.
+const pointWaitStates = 4
+
+// Points expands one measurement into its columnar store points: one
+// point per cacheless memory interface (32- and 64-bit fetch bus) per
+// wait-state count. The cycle attribution follows the Appendix A model
+// exactly — useful issue cycles (one per instruction), interlock stalls
+// in the load-delay bucket, and wait-state cycles split between the
+// instruction- and data-side requests — so the bucket sum reconstructs
+// Cycles() and store.Validate's invariant holds by construction.
+func (m *Measurement) Points() []store.Point {
+	out := make([]store.Point, 0, 2*pointWaitStates)
+	for _, bus := range []*memsys.NoCache{m.Bus32, m.Bus64} {
+		for w := int64(0); w < pointWaitStates; w++ {
+			p := store.Point{
+				Bench:        m.Bench,
+				Config:       m.Spec.Name,
+				BusBytes:     int64(bus.BusBytes),
+				WaitStates:   w,
+				Cycles:       bus.Cycles(m.Stats.Instrs, m.Stats.Interlocks, w),
+				Instrs:       m.Stats.Instrs,
+				IFetchBytes:  bus.IRequests * int64(bus.BusBytes),
+				DMemBytes:    bus.DRequests * 4,
+				SizeBytes:    int64(m.Size),
+				TextBytes:    int64(m.TextBytes),
+				StaticInstrs: int64(m.StaticInstrs),
+			}
+			p.Buckets[store.BUseful] = m.Stats.Instrs
+			p.Buckets[store.BLoadDelay] = m.Stats.Interlocks
+			p.Buckets[store.BIFetchWait] = w * bus.IRequests
+			p.Buckets[store.BDMemWait] = w * bus.DRequests
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Points returns the canonical point set of every memoized measurement
+// — the surface `repro -json` persists as points.mcst and simd appends
+// to its -store file as batches complete.
+func (l *Lab) Points() []store.Point {
+	var out []store.Point
+	for _, m := range l.Measurements() {
+		out = append(out, m.Points()...)
+	}
+	return store.Canon(out)
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/store"
+)
+
+// TestStoreBucketNamesMatchPipeline pins the store's bucket schema to
+// the pipeline's cycle-accounting buckets one for one; the store keeps
+// its own copy so the file format stays simulator-independent.
+func TestStoreBucketNamesMatchPipeline(t *testing.T) {
+	if store.NumBuckets != pipeline.NumBuckets {
+		t.Fatalf("store has %d buckets, pipeline has %d", store.NumBuckets, pipeline.NumBuckets)
+	}
+	for b := 0; b < pipeline.NumBuckets; b++ {
+		if store.BucketNames[b] != pipeline.Bucket(b).String() {
+			t.Errorf("bucket %d: store %q != pipeline %q",
+				b, store.BucketNames[b], pipeline.Bucket(b).String())
+		}
+	}
+}
+
+// TestMeasurementPoints checks the expansion of one real measurement
+// into store points: grid shape, the exact-attribution invariant, and
+// agreement with the Appendix A cycle model.
+func TestMeasurementPoints(t *testing.T) {
+	lab := NewLab()
+	m, err := lab.Measure(bench.ByName("ackermann"), isa.D16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := m.Points()
+	if len(pts) != 8 {
+		t.Fatalf("got %d points, want 8 (2 buses × 4 wait states)", len(pts))
+	}
+	for i := range pts {
+		p := &pts[i]
+		if err := p.Validate(); err != nil {
+			t.Fatalf("point %s fails the store invariant: %v", p.Key(), err)
+		}
+		if got, want := p.Cycles, m.Cycles(uint32(p.BusBytes), p.WaitStates); got != want {
+			t.Errorf("point %s: cycles %d, model says %d", p.Key(), got, want)
+		}
+		if p.Buckets[store.BUseful] != m.Stats.Instrs {
+			t.Errorf("point %s: useful %d != instrs %d", p.Key(), p.Buckets[store.BUseful], m.Stats.Instrs)
+		}
+		if p.WaitStates == 0 && (p.Buckets[store.BIFetchWait] != 0 || p.Buckets[store.BDMemWait] != 0) {
+			t.Errorf("point %s: wait buckets nonzero at zero wait states", p.Key())
+		}
+	}
+
+	// Lab.Points returns the canonical (sorted, deduped) surface.
+	labPts := lab.Points()
+	if len(labPts) != 8 {
+		t.Fatalf("lab points: %d, want 8", len(labPts))
+	}
+	canon := store.Canon(labPts)
+	for i := range canon {
+		if canon[i] != labPts[i] {
+			t.Fatal("Lab.Points is not canonical")
+		}
+	}
+}

@@ -59,14 +59,15 @@ const (
 // detPkgs lists the import-path suffixes of packages whose output must
 // be byte-identical across runs: the compiler and assembler (generated
 // code), the simulator and pipeline model (measurements), the encoders
-// and disassembler, the lab/experiment layer (tables), and the jobs
-// content-key paths. rangemap/mapskeys/mathrand apply here.
+// and disassembler, the lab/experiment layer (tables), the jobs
+// content-key paths, and the columnar measurement store (files).
+// rangemap/mapskeys/mathrand apply here.
 var detPkgs = []string{
 	"internal/mcc", "internal/asm", "internal/sim", "internal/pipeline",
 	"internal/core", "internal/experiments", "internal/jobs",
 	"internal/isa", "internal/d16", "internal/dlxe", "internal/prog",
 	"internal/dis", "internal/bench", "internal/cache", "internal/memsys",
-	"internal/verify",
+	"internal/verify", "internal/store",
 }
 
 // timeExemptPkgs are deterministic-output packages where wall-clock

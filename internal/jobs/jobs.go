@@ -102,6 +102,15 @@ type Ticket struct {
 	val    any
 	err    error
 	cached bool
+
+	// rid is the submitting request's ID (telemetry.RequestIDFrom on
+	// the submit context); it lands in the job's execution span so
+	// service traces connect requests to the work they caused. A
+	// coalesced ticket keeps the first submitter's ID.
+	rid string
+	// enqueued stamps queue admission in pooled mode; the dequeueing
+	// worker observes the wait into Metrics.QueueWaitUS.
+	enqueued time.Time
 }
 
 func (t *Ticket) complete(v any, err error) {
@@ -190,7 +199,7 @@ func (s *Scheduler) Do(ctx context.Context, j Job) (any, error) {
 }
 
 func (s *Scheduler) submit(ctx context.Context, j Job, wait bool) (*Ticket, error) {
-	t := &Ticket{job: j, done: make(chan struct{})}
+	t := &Ticket{job: j, done: make(chan struct{}), rid: telemetry.RequestIDFrom(ctx)}
 
 	s.mu.Lock()
 	if s.draining {
@@ -228,6 +237,7 @@ func (s *Scheduler) submit(ctx context.Context, j Job, wait bool) (*Ticket, erro
 	}
 
 	s.m.QueueDepth.Add(1)
+	t.enqueued = time.Now()
 	if wait {
 		select {
 		case s.queue <- t:
@@ -276,11 +286,20 @@ func (s *Scheduler) worker() {
 }
 
 // run executes one job: context assembly, panic containment, metrics,
-// cache fill, and ticket completion.
+// request-scoped span, cache fill, and ticket completion.
 func (s *Scheduler) run(t *Ticket) {
 	defer s.pending.Done()
 	s.m.InFlight.Add(1)
 	start := time.Now()
+	if !t.enqueued.IsZero() {
+		s.m.QueueWaitUS.Observe(start.Sub(t.enqueued).Microseconds())
+	}
+	attrs := []telemetry.Attr{telemetry.String("job", t.job.Name)}
+	if t.rid != "" {
+		attrs = append(attrs, telemetry.String("request_id", t.rid))
+	}
+	span := telemetry.StartSpan("jobs.run", attrs...)
+	defer span.End()
 
 	ctx := s.base
 	cancel := context.CancelFunc(func() {})

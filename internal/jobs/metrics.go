@@ -17,6 +17,9 @@ import "repro/internal/telemetry"
 //	jobs.cache.misses  counter    submissions that had to execute
 //	jobs.cache.entries gauge      results currently cached
 //	jobs.latency_us    histogram  per-job wall-clock execution time (µs)
+//	jobs.queue_wait_us fixed hist submit-to-dequeue wait (µs, pooled
+//	                              mode only) with deterministic
+//	                              p50/p90/p99 exported by WriteProm
 type Metrics struct {
 	QueueDepth  *telemetry.Gauge
 	InFlight    *telemetry.Gauge
@@ -28,6 +31,7 @@ type Metrics struct {
 	CacheHits   *telemetry.Counter
 	CacheMisses *telemetry.Counter
 	LatencyUS   *telemetry.Histogram
+	QueueWaitUS *telemetry.FixedHistogram
 }
 
 // newMetrics binds the metric set into reg under prefix and registers
@@ -44,6 +48,7 @@ func newMetrics(reg *telemetry.Registry, prefix string, cache *Cache, workers in
 		CacheHits:   reg.Counter(prefix + "cache.hits"),
 		CacheMisses: reg.Counter(prefix + "cache.misses"),
 		LatencyUS:   reg.Histogram(prefix + "latency_us"),
+		QueueWaitUS: reg.FixedHistogram(prefix+"queue_wait_us", telemetry.LatencyBounds),
 	}
 	reg.RegisterFunc(prefix+"cache.entries", func() int64 { return int64(cache.Len()) })
 	reg.RegisterFunc(prefix+"workers", func() int64 { return int64(workers) })

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DiffOptions shapes an A/B surface comparison.
+type DiffOptions struct {
+	// Top caps the per-point delta list (0 = 20, the report default).
+	Top int `json:"top,omitempty"`
+	// Threshold is the relative cycle change that counts a point as
+	// regressed or improved (0 = 0.10, i.e. 10%).
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// PointKey identifies one point across two surfaces.
+type PointKey struct {
+	Bench      string `json:"bench"`
+	Config     string `json:"config"`
+	BusBytes   int64  `json:"bus_bytes"`
+	WaitStates int64  `json:"wait_states"`
+	CacheKB    int64  `json:"cache_kb"`
+}
+
+func keyOf(p *Point) PointKey {
+	return PointKey{p.Bench, p.Config, p.BusBytes, p.WaitStates, p.CacheKB}
+}
+
+// String renders the key in the query grammar, so a mover can be pasted
+// straight back into repro -query or /v1/query.
+func (k PointKey) String() string {
+	return fmt.Sprintf("bench=%s config=%s bus=%d waits=%d cachekb=%d",
+		k.Bench, k.Config, k.BusBytes, k.WaitStates, k.CacheKB)
+}
+
+// PointDelta is one matched point's A→B movement.
+type PointDelta struct {
+	PointKey
+	CyclesA int64 `json:"cycles_a"`
+	CyclesB int64 `json:"cycles_b"`
+	// Delta is CyclesB - CyclesA; Rel is Delta / CyclesA (0 when
+	// CyclesA is 0). Positive = B is slower (a regression).
+	Delta int64   `json:"delta"`
+	Rel   float64 `json:"rel"`
+	// BucketDelta is the per-cause movement, indexed like
+	// Point.Buckets; WorstBucket names the bucket that grew the most
+	// (empty when no bucket grew).
+	BucketDelta [NumBuckets]int64 `json:"bucket_delta"`
+	WorstBucket string            `json:"worst_bucket,omitempty"`
+}
+
+// BucketMover is, for one cycle bucket, the matched point where that
+// bucket grew the most from A to B.
+type BucketMover struct {
+	Bucket string `json:"bucket"`
+	PointKey
+	Delta int64 `json:"delta"`
+	// Rel is the bucket's growth relative to the point's A-side cycles
+	// (how much of the slowdown this cause explains).
+	Rel float64 `json:"rel"`
+}
+
+// DiffReport is the result of comparing two surfaces point by point.
+type DiffReport struct {
+	PointsA int `json:"points_a"`
+	PointsB int `json:"points_b"`
+	Matched int `json:"matched"`
+	// OnlyA/OnlyB list keys present on one side only (canonical order).
+	OnlyA []PointKey `json:"only_a,omitempty"`
+	OnlyB []PointKey `json:"only_b,omitempty"`
+	// Regressed/Improved count matched points whose relative cycle
+	// change exceeds the threshold in either direction.
+	Threshold float64 `json:"threshold"`
+	Regressed int     `json:"regressed"`
+	Improved  int     `json:"improved"`
+	// MaxRel is the worst relative regression seen (0 when none grew).
+	MaxRel float64 `json:"max_rel"`
+	// Deltas holds the biggest absolute-relative movers first
+	// (regressions before equal-magnitude improvements), capped at Top.
+	Deltas []PointDelta `json:"deltas"`
+	// WorstByBucket has one entry per bucket that grew anywhere,
+	// ordered by the bucket index, so "which cause got slower" is a
+	// direct lookup.
+	WorstByBucket []BucketMover `json:"worst_by_bucket,omitempty"`
+}
+
+// Diff compares surface b against baseline a, matching points by key
+// after canonicalizing both sides. It reports per-point cycle and
+// bucket deltas, the worst mover per bucket, and regression/improvement
+// counts against the threshold.
+func Diff(a, b []Point, opt DiffOptions) *DiffReport {
+	if opt.Top <= 0 {
+		opt.Top = 20
+	}
+	if opt.Threshold <= 0 {
+		opt.Threshold = 0.10
+	}
+	ca, cb := Canon(a), Canon(b)
+	rep := &DiffReport{PointsA: len(ca), PointsB: len(cb), Threshold: opt.Threshold}
+
+	bIdx := map[string]int{}
+	for i := range cb {
+		bIdx[cb[i].Key()] = i
+	}
+	seenB := make([]bool, len(cb))
+
+	var movers [NumBuckets]*BucketMover
+	for i := range ca {
+		pa := &ca[i]
+		j, ok := bIdx[pa.Key()]
+		if !ok {
+			rep.OnlyA = append(rep.OnlyA, keyOf(pa))
+			continue
+		}
+		seenB[j] = true
+		pb := &cb[j]
+		rep.Matched++
+
+		d := PointDelta{
+			PointKey: keyOf(pa),
+			CyclesA:  pa.Cycles,
+			CyclesB:  pb.Cycles,
+			Delta:    pb.Cycles - pa.Cycles,
+		}
+		if pa.Cycles != 0 {
+			d.Rel = float64(d.Delta) / float64(pa.Cycles)
+		}
+		var worst int64
+		for bk := 0; bk < NumBuckets; bk++ {
+			bd := pb.Buckets[bk] - pa.Buckets[bk]
+			d.BucketDelta[bk] = bd
+			if bd > worst {
+				worst = bd
+				d.WorstBucket = BucketNames[bk]
+			}
+			if bd > 0 && (movers[bk] == nil || bd > movers[bk].Delta) {
+				m := &BucketMover{Bucket: BucketNames[bk], PointKey: d.PointKey, Delta: bd}
+				if pa.Cycles != 0 {
+					m.Rel = float64(bd) / float64(pa.Cycles)
+				}
+				movers[bk] = m
+			}
+		}
+		switch {
+		case d.Rel > opt.Threshold:
+			rep.Regressed++
+		case d.Rel < -opt.Threshold:
+			rep.Improved++
+		}
+		if d.Rel > rep.MaxRel {
+			rep.MaxRel = d.Rel
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for j := range cb {
+		if !seenB[j] {
+			rep.OnlyB = append(rep.OnlyB, keyOf(&cb[j]))
+		}
+	}
+
+	// Biggest movers first: by |Rel| descending, regressions before
+	// equal-magnitude improvements, canonical key as the tie-break.
+	sort.SliceStable(rep.Deltas, func(i, j int) bool {
+		ai, aj := abs(rep.Deltas[i].Rel), abs(rep.Deltas[j].Rel)
+		if ai != aj {
+			return ai > aj
+		}
+		if rep.Deltas[i].Rel != rep.Deltas[j].Rel {
+			return rep.Deltas[i].Rel > rep.Deltas[j].Rel
+		}
+		return rep.Deltas[i].PointKey.String() < rep.Deltas[j].PointKey.String()
+	})
+	if len(rep.Deltas) > opt.Top {
+		rep.Deltas = rep.Deltas[:opt.Top]
+	}
+	for bk := 0; bk < NumBuckets; bk++ {
+		if movers[bk] != nil {
+			rep.WorstByBucket = append(rep.WorstByBucket, *movers[bk])
+		}
+	}
+	return rep
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

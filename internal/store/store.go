@@ -1,0 +1,456 @@
+// Package store is the lab's columnar measurement store: a compact,
+// append-only, deterministic file format for measurement points, with a
+// query layer (filter / top-N) and an A/B diff that pinpoints regressed
+// points and the cycle buckets that moved.
+//
+// A Point is one cell of the paper's trade-off surface:
+//
+//	bench × config × bus × wait states × cache → cycles, per-cause
+//	cycle buckets, instruction/data traffic, code size and density
+//
+// JSON-blob-per-experiment stops scaling once sweeps produce 10⁵–10⁶
+// points per run; the columnar form stores the same surface in a few
+// bytes per point and reads back without parsing overhead.
+//
+// The file format (extension .mcst, spec in docs/STORE.md) is a magic
+// header followed by self-contained blocks. Each block carries its own
+// string dictionary and one length-prefixed unsigned-varint column per
+// field, so appending a new batch of points never rewrites existing
+// bytes and a scan can skip columns it does not need. Writers sort
+// points canonically and build dictionaries in first-appearance order,
+// so the same point set always serializes to the same bytes — the
+// property the determinism gate checks (write fig4 twice, cmp).
+//
+// Everything in this package is stdlib-only and deterministic: no maps
+// are ranged, no wall-clock is read (it is covered by detlint).
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// NumBuckets is the number of per-cause cycle buckets a point carries.
+// BucketNames mirrors internal/pipeline's bucket identifiers one for
+// one (a test in internal/core pins the correspondence); store keeps
+// its own copy so the file format does not depend on the simulator.
+const NumBuckets = 8
+
+// Bucket indices into Point.Buckets, in column order.
+const (
+	BUseful = iota
+	BLoadDelay
+	BFPU
+	BIFetchWait
+	BDMemWait
+	BPortContention
+	BCacheMiss
+	BDrain
+)
+
+// BucketNames are the stable per-cause bucket identifiers, indexed by
+// the B* constants.
+var BucketNames = [NumBuckets]string{
+	"useful", "load_delay", "fpu", "ifetch_wait", "dmem_wait",
+	"port_contention", "cache_miss", "drain",
+}
+
+// Point is one measurement point. All numeric fields are non-negative;
+// Buckets must sum to Cycles exactly (Validate enforces both, so a
+// leaky attribution can never be persisted).
+type Point struct {
+	Bench      string `json:"bench"`
+	Config     string `json:"config"`
+	BusBytes   int64  `json:"bus_bytes"`
+	WaitStates int64  `json:"wait_states"`
+	CacheKB    int64  `json:"cache_kb"`
+
+	Cycles  int64             `json:"cycles"`
+	Buckets [NumBuckets]int64 `json:"buckets"` // indexed by B*, named by BucketNames
+
+	Instrs      int64 `json:"instrs"`
+	IFetchBytes int64 `json:"ifetch_bytes"`
+	DMemBytes   int64 `json:"dmem_bytes"`
+
+	SizeBytes    int64 `json:"size_bytes"`
+	TextBytes    int64 `json:"text_bytes"`
+	StaticInstrs int64 `json:"static_instrs"`
+}
+
+// Key is the point's identity within a surface: everything but the
+// measured values.
+func (p *Point) Key() string {
+	return fmt.Sprintf("%s|%s|%d|%d|%d", p.Bench, p.Config, p.BusBytes, p.WaitStates, p.CacheKB)
+}
+
+// CPI returns cycles per instruction (0 when Instrs is 0).
+func (p *Point) CPI() float64 {
+	if p.Instrs == 0 {
+		return 0
+	}
+	return float64(p.Cycles) / float64(p.Instrs)
+}
+
+// Validate checks the persistence invariants: non-negative fields and
+// the exact bucket attribution (sum of Buckets == Cycles).
+func (p *Point) Validate() error {
+	if p.Bench == "" || p.Config == "" {
+		return fmt.Errorf("store: point %s: empty bench or config", p.Key())
+	}
+	var sum int64
+	for _, v := range p.Buckets {
+		if v < 0 {
+			return fmt.Errorf("store: point %s: negative bucket value %d", p.Key(), v)
+		}
+		sum += v
+	}
+	if sum != p.Cycles {
+		return fmt.Errorf("store: point %s: buckets sum %d != cycles %d", p.Key(), sum, p.Cycles)
+	}
+	for _, v := range []int64{p.BusBytes, p.WaitStates, p.CacheKB, p.Cycles,
+		p.Instrs, p.IFetchBytes, p.DMemBytes, p.SizeBytes, p.TextBytes, p.StaticInstrs} {
+		if v < 0 {
+			return fmt.Errorf("store: point %s: negative field value %d", p.Key(), v)
+		}
+	}
+	return nil
+}
+
+// less orders points canonically: bench, config, bus, waits, cache.
+func less(a, b *Point) bool {
+	if a.Bench != b.Bench {
+		return a.Bench < b.Bench
+	}
+	if a.Config != b.Config {
+		return a.Config < b.Config
+	}
+	if a.BusBytes != b.BusBytes {
+		return a.BusBytes < b.BusBytes
+	}
+	if a.WaitStates != b.WaitStates {
+		return a.WaitStates < b.WaitStates
+	}
+	return a.CacheKB < b.CacheKB
+}
+
+// Canon returns the canonical view of a point list: deduplicated by key
+// (the last write wins, matching append-only update semantics) and
+// sorted in canonical order. The input is not modified.
+func Canon(pts []Point) []Point {
+	idx := map[string]int{}
+	out := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		k := p.Key()
+		if i, ok := idx[k]; ok {
+			out[i] = p
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(&out[i], &out[j]) })
+	return out
+}
+
+// --- file format ------------------------------------------------------------
+
+// Magic opens every store file; the trailing digit is the format
+// version.
+const Magic = "MCST1\n"
+
+// blockTag opens every block.
+const blockTag = "BLK"
+
+// numCols is the fixed column count of format version 1, in order:
+// bench, config, bus_bytes, wait_states, cache_kb, cycles, the eight
+// buckets, instrs, ifetch_bytes, dmem_bytes, size_bytes, text_bytes,
+// static_instrs.
+const numCols = 6 + NumBuckets + 6
+
+// cols extracts every column value of one point in column order; the
+// first two are dictionary indices resolved by the caller.
+func (p *Point) cols(benchIdx, configIdx uint64) [numCols]uint64 {
+	var c [numCols]uint64
+	c[0], c[1] = benchIdx, configIdx
+	c[2], c[3], c[4] = uint64(p.BusBytes), uint64(p.WaitStates), uint64(p.CacheKB)
+	c[5] = uint64(p.Cycles)
+	for b := 0; b < NumBuckets; b++ {
+		c[6+b] = uint64(p.Buckets[b])
+	}
+	c[6+NumBuckets+0] = uint64(p.Instrs)
+	c[6+NumBuckets+1] = uint64(p.IFetchBytes)
+	c[6+NumBuckets+2] = uint64(p.DMemBytes)
+	c[6+NumBuckets+3] = uint64(p.SizeBytes)
+	c[6+NumBuckets+4] = uint64(p.TextBytes)
+	c[6+NumBuckets+5] = uint64(p.StaticInstrs)
+	return c
+}
+
+// setCols is the inverse of cols; strings are resolved from the block
+// dictionary by the caller.
+func (p *Point) setCols(c [numCols]uint64) {
+	p.BusBytes, p.WaitStates, p.CacheKB = int64(c[2]), int64(c[3]), int64(c[4])
+	p.Cycles = int64(c[5])
+	for b := 0; b < NumBuckets; b++ {
+		p.Buckets[b] = int64(c[6+b])
+	}
+	p.Instrs = int64(c[6+NumBuckets+0])
+	p.IFetchBytes = int64(c[6+NumBuckets+1])
+	p.DMemBytes = int64(c[6+NumBuckets+2])
+	p.SizeBytes = int64(c[6+NumBuckets+3])
+	p.TextBytes = int64(c[6+NumBuckets+4])
+	p.StaticInstrs = int64(c[6+NumBuckets+5])
+}
+
+// writeBlock appends one self-contained block for pts (already sorted
+// canonically) to w.
+func writeBlock(w io.Writer, pts []Point) error {
+	// Dictionary in first-appearance order over the sorted points, so
+	// equal point sets produce equal dictionaries.
+	dictIdx := map[string]uint64{}
+	var dict []string
+	intern := func(s string) uint64 {
+		if i, ok := dictIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(dict))
+		dictIdx[s] = i
+		dict = append(dict, s)
+		return i
+	}
+
+	cols := make([][]uint64, numCols)
+	for i := range pts {
+		c := pts[i].cols(intern(pts[i].Bench), intern(pts[i].Config))
+		for j := 0; j < numCols; j++ {
+			cols[j] = append(cols[j], c[j])
+		}
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(blockTag)
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(b *bytes.Buffer, v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		b.Write(tmp[:n])
+	}
+	putUvarint(&buf, uint64(len(pts)))
+	putUvarint(&buf, uint64(len(dict)))
+	for _, s := range dict {
+		putUvarint(&buf, uint64(len(s)))
+		buf.WriteString(s)
+	}
+	putUvarint(&buf, uint64(numCols))
+	var col bytes.Buffer
+	for j := 0; j < numCols; j++ {
+		col.Reset()
+		for _, v := range cols[j] {
+			putUvarint(&col, v)
+		}
+		putUvarint(&buf, uint64(col.Len()))
+		buf.Write(col.Bytes())
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Write serializes pts as a complete store file (magic + one block).
+// Points are validated, then sorted canonically on a copy, so the same
+// point set always produces the same bytes.
+func Write(w io.Writer, pts []Point) error {
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return less(&sorted[i], &sorted[j]) })
+	for i := range sorted {
+		if err := sorted[i].Validate(); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, Magic); err != nil {
+		return err
+	}
+	return writeBlock(w, sorted)
+}
+
+// WriteFile writes pts as a complete store file at path, creating
+// parent directories as needed; an existing file is replaced.
+func WriteFile(path string, pts []Point) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, pts); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// AppendFile appends pts to the store at path as one new block, never
+// rewriting existing bytes; a missing file is created with the magic
+// header first. Appending an empty point list is a no-op.
+func AppendFile(path string, pts []Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return less(&sorted[i], &sorted[j]) })
+	for i := range sorted {
+		if err := sorted[i].Validate(); err != nil {
+			return err
+		}
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() == 0 {
+		if _, err := io.WriteString(f, Magic); err != nil {
+			return err
+		}
+	}
+	if err := writeBlock(f, sorted); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a store file and returns every point of every block in
+// file order (duplicate keys possible across blocks; Canon resolves
+// them last-write-wins).
+func Read(r io.Reader) ([]Point, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("store: not a measurement store (missing %q header)", Magic[:len(Magic)-1])
+	}
+	var pts []Point
+	rest := data[len(Magic):]
+	for len(rest) > 0 {
+		block, n, err := readBlock(rest)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, block...)
+		rest = rest[n:]
+	}
+	return pts, nil
+}
+
+// ReadFile reads every point in the store at path.
+func ReadFile(path string) ([]Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pts, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return pts, nil
+}
+
+// readBlock parses one block from the front of data, returning its
+// points and the number of bytes consumed.
+func readBlock(data []byte) ([]Point, int, error) {
+	pos := 0
+	if len(data) < len(blockTag) || string(data[:len(blockTag)]) != blockTag {
+		return nil, 0, fmt.Errorf("store: corrupt block header at offset %d", pos)
+	}
+	pos += len(blockTag)
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("store: truncated varint at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	nPoints, err := uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	nStrings, err := uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	if nPoints > uint64(len(data)) || nStrings > uint64(len(data)) {
+		return nil, 0, fmt.Errorf("store: implausible block counts (%d points, %d strings)", nPoints, nStrings)
+	}
+	dict := make([]string, nStrings)
+	for i := range dict {
+		n, err := uvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		if uint64(pos)+n > uint64(len(data)) {
+			return nil, 0, fmt.Errorf("store: truncated dictionary string at offset %d", pos)
+		}
+		dict[i] = string(data[pos : pos+int(n)])
+		pos += int(n)
+	}
+	nCols, err := uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	if nCols != numCols {
+		return nil, 0, fmt.Errorf("store: block has %d columns, format v1 has %d", nCols, numCols)
+	}
+	cols := make([][]uint64, numCols)
+	for j := 0; j < numCols; j++ {
+		byteLen, err := uvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		if uint64(pos)+byteLen > uint64(len(data)) {
+			return nil, 0, fmt.Errorf("store: truncated column %d at offset %d", j, pos)
+		}
+		end := pos + int(byteLen)
+		col := make([]uint64, 0, nPoints)
+		for pos < end {
+			v, n := binary.Uvarint(data[pos:end])
+			if n <= 0 {
+				return nil, 0, fmt.Errorf("store: corrupt varint in column %d at offset %d", j, pos)
+			}
+			pos += n
+			col = append(col, v)
+		}
+		if uint64(len(col)) != nPoints {
+			return nil, 0, fmt.Errorf("store: column %d has %d values, block has %d points", j, len(col), nPoints)
+		}
+		cols[j] = col
+	}
+	pts := make([]Point, nPoints)
+	for i := range pts {
+		var c [numCols]uint64
+		for j := 0; j < numCols; j++ {
+			c[j] = cols[j][i]
+		}
+		if c[0] >= uint64(len(dict)) || c[1] >= uint64(len(dict)) {
+			return nil, 0, fmt.Errorf("store: point %d references string %d/%d outside dictionary of %d", i, c[0], c[1], len(dict))
+		}
+		pts[i].Bench, pts[i].Config = dict[c[0]], dict[c[1]]
+		pts[i].setCols(c)
+	}
+	return pts, pos, nil
+}

@@ -1,0 +1,319 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mkPoint builds a valid point whose buckets sum to cycles exactly.
+func mkPoint(bench, config string, bus, waits, cycles int64) Point {
+	p := Point{
+		Bench: bench, Config: config,
+		BusBytes: bus, WaitStates: waits,
+		Cycles:      cycles,
+		Instrs:      cycles / 2,
+		IFetchBytes: 4 * cycles,
+		DMemBytes:   cycles,
+		SizeBytes:   1000, TextBytes: 800, StaticInstrs: 200,
+	}
+	p.Buckets[BUseful] = cycles / 2
+	p.Buckets[BLoadDelay] = cycles / 4
+	p.Buckets[BIFetchWait] = cycles - cycles/2 - cycles/4
+	return p
+}
+
+func testPoints() []Point {
+	var pts []Point
+	for _, b := range []string{"queens", "sieve", "tower"} {
+		for _, c := range []string{"D16/16/2", "DLXe/32/3"} {
+			for _, bus := range []int64{4, 8} {
+				for w := int64(0); w <= 3; w++ {
+					pts = append(pts, mkPoint(b, c, bus, w, 1000+bus*10+w*100+int64(len(b))))
+				}
+			}
+		}
+	}
+	return pts
+}
+
+func TestRoundTrip(t *testing.T) {
+	pts := testPoints()
+	var buf bytes.Buffer
+	if err := Write(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Canon(pts)
+	if len(got) != len(want) {
+		t.Fatalf("read %d points, wrote %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWriteDeterministic is the byte-identity guarantee: the same point
+// set, in any input order, always serializes to the same bytes.
+func TestWriteDeterministic(t *testing.T) {
+	pts := testPoints()
+	var a, b bytes.Buffer
+	if err := Write(&a, pts); err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]Point, len(pts))
+	for i := range pts {
+		rev[len(pts)-1-i] = pts[i]
+	}
+	if err := Write(&b, rev); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same point set in different input order produced different bytes")
+	}
+}
+
+func TestAppendFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "points.mcst")
+	first := testPoints()[:8]
+	if err := AppendFile(path, first); err != nil {
+		t.Fatal(err)
+	}
+	// Appending must not rewrite existing bytes.
+	before, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated := mkPoint("queens", "D16/16/2", 4, 0, 9999)
+	second := []Point{updated, mkPoint("extra", "D16/16/2", 4, 0, 50)}
+	if err := AppendFile(path, second); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before)+2 {
+		t.Fatalf("after append: %d points, want %d", len(after), len(before)+2)
+	}
+	// Canon resolves the duplicate key last-write-wins.
+	canon := Canon(after)
+	var found bool
+	for i := range canon {
+		if canon[i].Key() == updated.Key() {
+			found = true
+			if canon[i].Cycles != 9999 {
+				t.Fatalf("duplicate key resolved to cycles %d, want the appended 9999", canon[i].Cycles)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("appended point missing after Canon")
+	}
+	if err := AppendFile(path, nil); err != nil {
+		t.Fatalf("empty append: %v", err)
+	}
+}
+
+func TestValidateRejectsLeakyBuckets(t *testing.T) {
+	p := mkPoint("queens", "D16/16/2", 4, 0, 100)
+	p.Buckets[BFPU]++ // leak: sum != cycles
+	var buf bytes.Buffer
+	if err := Write(&buf, []Point{p}); err == nil {
+		t.Fatal("leaky bucket attribution persisted without error")
+	}
+	p = mkPoint("queens", "D16/16/2", 4, 0, 100)
+	p.Instrs = -1
+	if err := Write(&buf, []Point{p}); err == nil {
+		t.Fatal("negative field persisted without error")
+	}
+}
+
+func TestReadRejectsCorruptInput(t *testing.T) {
+	for name, data := range map[string]string{
+		"empty":     "",
+		"bad magic": "NOPE1\nxxxx",
+		"truncated": Magic + "BLK",
+		"bad tag":   Magic + "XYZ",
+	} {
+		if _, err := Read(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: corrupt input read without error", name)
+		}
+	}
+	// A valid file truncated mid-block must error, not silently drop points.
+	var buf bytes.Buffer
+	if err := Write(&buf, testPoints()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
+		t.Error("truncated block read without error")
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	f, err := ParseFilter("bench=queens config=D16/16/2 bus=4 waits=2 by=cycles top=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Bench != "queens" || f.Config != "D16/16/2" || f.BusBytes != 4 ||
+		f.WaitStates != 2 || f.By != "cycles" || f.Top != 5 {
+		t.Fatalf("parsed filter: %+v", f)
+	}
+	// isa is an alias for config; commas separate too.
+	f, err = ParseFilter("isa=dlxe,waits=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Config != "dlxe" || f.WaitStates != 0 || f.BusBytes != -1 {
+		t.Fatalf("parsed filter: %+v", f)
+	}
+	// Round trip through the canonical rendering.
+	f2, err := ParseFilter(f.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != f {
+		t.Fatalf("String round trip: %+v != %+v", f2, f)
+	}
+	for _, bad := range []string{"bench", "waits=-1", "waits=x", "nope=1", "by=bogus"} {
+		if _, err := ParseFilter(bad); err == nil {
+			t.Errorf("ParseFilter(%q) accepted", bad)
+		}
+	}
+}
+
+func TestQuery(t *testing.T) {
+	pts := testPoints()
+	f := NewFilter()
+	f.Bench = "queens"
+	f.WaitStates = 2
+	res, err := Query(pts, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// queens × 2 configs × 2 buses at waits=2.
+	if res.Matched != 4 || len(res.Points) != 4 {
+		t.Fatalf("matched %d points, want 4: %+v", res.Matched, res.Points)
+	}
+	if res.Total != len(Canon(pts)) {
+		t.Fatalf("total %d, want %d", res.Total, len(Canon(pts)))
+	}
+	for i := range res.Points {
+		if res.Points[i].Bench != "queens" || res.Points[i].WaitStates != 2 {
+			t.Fatalf("filter leak: %+v", res.Points[i])
+		}
+	}
+
+	// Top-N by cycles: descending, truncated.
+	f = NewFilter()
+	f.By, f.Top = "cycles", 3
+	res, err = Query(pts, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("top 3 returned %d points", len(res.Points))
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Cycles > res.Points[i-1].Cycles {
+			t.Fatalf("by=cycles not descending: %d after %d",
+				res.Points[i].Cycles, res.Points[i-1].Cycles)
+		}
+	}
+
+	if _, err := Query(pts, Filter{By: "bogus"}); err == nil {
+		t.Fatal("unknown sort metric accepted")
+	}
+}
+
+// TestDiffPinpointsRegression is the acceptance scenario: inject a +15%
+// cycle regression into one bench's ifetch_wait bucket and check the
+// diff names that point and that bucket as the worst movers.
+func TestDiffPinpointsRegression(t *testing.T) {
+	a := testPoints()
+	b := make([]Point, len(a))
+	copy(b, a)
+	var injectedKey string
+	for i := range b {
+		if b[i].Bench == "sieve" && b[i].Config == "D16/16/2" && b[i].BusBytes == 4 && b[i].WaitStates == 2 {
+			extra := b[i].Cycles * 15 / 100
+			b[i].Cycles += extra
+			b[i].Buckets[BIFetchWait] += extra
+			injectedKey = b[i].Key()
+		}
+	}
+	if injectedKey == "" {
+		t.Fatal("test bug: injection point not found")
+	}
+	rep := Diff(a, b, DiffOptions{})
+	if rep.Matched != len(Canon(a)) {
+		t.Fatalf("matched %d, want %d", rep.Matched, len(Canon(a)))
+	}
+	if rep.Regressed != 1 {
+		t.Fatalf("regressed %d points, want exactly the injected one", rep.Regressed)
+	}
+	worst := rep.Deltas[0]
+	if worst.Bench != "sieve" || worst.Config != "D16/16/2" || worst.BusBytes != 4 || worst.WaitStates != 2 {
+		t.Fatalf("worst mover is %+v, want the injected sieve point", worst.PointKey)
+	}
+	if worst.WorstBucket != "ifetch_wait" {
+		t.Fatalf("worst bucket %q, want ifetch_wait", worst.WorstBucket)
+	}
+	if worst.Rel < 0.14 || worst.Rel > 0.16 {
+		t.Fatalf("relative delta %.3f, want ~0.15", worst.Rel)
+	}
+	var foundMover bool
+	for _, m := range rep.WorstByBucket {
+		if m.Bucket == "ifetch_wait" {
+			foundMover = true
+			if m.Bench != "sieve" {
+				t.Fatalf("ifetch_wait mover is %s, want sieve", m.Bench)
+			}
+		}
+	}
+	if !foundMover {
+		t.Fatal("no ifetch_wait entry in WorstByBucket")
+	}
+	if rep.MaxRel != worst.Rel {
+		t.Fatalf("MaxRel %.3f != worst delta %.3f", rep.MaxRel, worst.Rel)
+	}
+}
+
+func TestDiffOnlySides(t *testing.T) {
+	a := testPoints()
+	b := make([]Point, len(a))
+	copy(b, a)
+	b = b[1:] // drop one point from B
+	extra := mkPoint("newbench", "D16/16/2", 4, 0, 10)
+	b = append(b, extra)
+	rep := Diff(a, b, DiffOptions{Top: 5})
+	if len(rep.OnlyA) != 1 || len(rep.OnlyB) != 1 {
+		t.Fatalf("only_a %d, only_b %d, want 1 and 1", len(rep.OnlyA), len(rep.OnlyB))
+	}
+	if rep.OnlyB[0].Bench != "newbench" {
+		t.Fatalf("only_b names %s, want newbench", rep.OnlyB[0].Bench)
+	}
+	if len(rep.Deltas) > 5 {
+		t.Fatalf("deltas not capped at Top: %d", len(rep.Deltas))
+	}
+}
+
+func BenchmarkWriteRead(b *testing.B) {
+	pts := testPoints()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, pts); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

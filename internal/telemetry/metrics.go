@@ -124,7 +124,7 @@ type Bucket struct {
 // Snapshot is the exported state of one metric.
 type Snapshot struct {
 	Name  string   `json:"name"`
-	Kind  string   `json:"kind"` // counter, gauge, histogram
+	Kind  string   `json:"kind"` // counter, gauge, histogram, fixed_histogram
 	Value int64    `json:"value,omitempty"`
 	Count int64    `json:"count,omitempty"`
 	Sum   int64    `json:"sum,omitempty"`
@@ -132,6 +132,11 @@ type Snapshot struct {
 	Max   int64    `json:"max,omitempty"`
 	Mean  float64  `json:"mean,omitempty"`
 	Hist  []Bucket `json:"buckets,omitempty"`
+	// P50/P90/P99 are filled for fixed_histogram metrics only: fixed
+	// bucket bounds make them deterministic (see FixedHistogram).
+	P50 int64 `json:"p50,omitempty"`
+	P90 int64 `json:"p90,omitempty"`
+	P99 int64 `json:"p99,omitempty"`
 }
 
 type metric interface {

@@ -1,0 +1,24 @@
+package telemetry
+
+import "context"
+
+// requestIDKey is the private context key for request-scoped IDs.
+type requestIDKey struct{}
+
+// WithRequestID tags ctx with a request-scoped ID. Services assign one
+// per inbound call (simd's access-log middleware does) and the ID rides
+// the context through the jobs scheduler into its spans, so a slow
+// query or a shed batch can be traced back to the request that caused
+// it.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
