@@ -6,9 +6,9 @@
 TMP := /tmp/repro-make
 BIN := $(TMP)/bin
 
-.PHONY: check build test vet lint verify fuzz-short smoke store-smoke determinism serve-smoke bench clean
+.PHONY: check build test vet lint verify fuzz-short smoke store-smoke determinism explain-smoke serve-smoke bench clean
 
-check: vet lint build test fuzz-short verify smoke store-smoke determinism serve-smoke
+check: vet lint build test fuzz-short verify smoke store-smoke determinism explain-smoke serve-smoke
 
 vet:
 	go vet ./...
@@ -85,6 +85,20 @@ determinism: $(BIN)/repro
 	cmp $(TMP)/det-a/points.mcst $(TMP)/det-b/points.mcst
 	cmp $(TMP)/det-a/points.mcst $(TMP)/det-j8/points.mcst
 	@echo "determinism ok: -jobs 1 and -jobs 8 byte-identical (incl. points.mcst)"
+
+# Explain smoke: the A/B drill-down (surface diff → stall heatmaps →
+# annotated disassembly, docs/EXPLAIN.md) on a fig4-style pair must be
+# byte-identical across repeated runs and under the parallel scheduler,
+# text and JSON both.
+explain-smoke: $(BIN)/repro
+	$(BIN)/repro -explain 'a=D16/16/2 b=DLXe/32/3 bench=towers waits=1 top=1 rows=6' -json $(TMP)/exp-a > $(TMP)/exp-a.out
+	$(BIN)/repro -explain 'a=D16/16/2 b=DLXe/32/3 bench=towers waits=1 top=1 rows=6' -json $(TMP)/exp-b > $(TMP)/exp-b.out
+	$(BIN)/repro -explain 'a=D16/16/2 b=DLXe/32/3 bench=towers waits=1 top=1 rows=6' -json $(TMP)/exp-j8 -jobs 8 > $(TMP)/exp-j8.out
+	cmp $(TMP)/exp-a.out $(TMP)/exp-b.out
+	cmp $(TMP)/exp-a.out $(TMP)/exp-j8.out
+	cmp $(TMP)/exp-a/explain.json $(TMP)/exp-b/explain.json
+	cmp $(TMP)/exp-a/explain.json $(TMP)/exp-j8/explain.json
+	@echo "explain smoke ok: A/B drill-down byte-identical across runs and -jobs 8"
 
 # Service smoke: boot simd, hit /healthz, run the same one-point batch
 # twice (the repeat must be served from the result cache with an

@@ -28,6 +28,11 @@
 //	             ifetch_wait / dmem_wait / port_contention / cache_miss /
 //	             drain) plus the hottest functions; the memory system is
 //	             shaped with -bus, -waits, -shared, -cachekb, -misspenalty
+//	-pipetrace F attach the engine's flight recorder and write a Chrome
+//	             trace of per-cycle stage occupancy to F (one lane per
+//	             stage, stall causes as event names); written even if the
+//	             run faults. -pipetrace-depth bounds retained events
+//	             (<=0 keeps the full run). See docs/EXPLAIN.md.
 package main
 
 import (
@@ -63,6 +68,8 @@ func main() {
 	maxInstrs := flag.Int64("max", 2_000_000_000, "instruction budget")
 	verifyMode := flag.Bool("verify", false, "statically verify the compiled image, print the report, and exit without running")
 	account := flag.Bool("account", false, "attach the cycle-level engine and print a cycle attribution breakdown")
+	pipeTrace := flag.String("pipetrace", "", "write a Chrome trace of pipeline stage occupancy to this file (implies the cycle engine)")
+	pipeDepth := flag.Int("pipetrace-depth", 1<<20, "flight-recorder depth for -pipetrace (events kept; <=0 records the full run)")
 	busBytes := flag.Uint("bus", 4, "memory bus width in bytes for -account")
 	waits := flag.Int64("waits", 1, "memory wait states for -account (ignored with -cachekb)")
 	shared := flag.Bool("shared", false, "share one memory port between ifetch and data for -account")
@@ -156,7 +163,7 @@ func main() {
 		m.Attach(prof)
 	}
 	var eng *pipeline.Engine
-	if *account {
+	if *account || *pipeTrace != "" {
 		pc := pipeline.Config{
 			BusBytes:    uint32(*busBytes),
 			WaitStates:  *waits,
@@ -171,6 +178,14 @@ func main() {
 				os.Exit(1)
 			}
 			pc.Caches = sys
+		}
+		if *pipeTrace != "" {
+			// Ring of the last N events; non-positive depth keeps the
+			// whole run (fine for short programs, expensive for long ones).
+			pc.RecordDepth = *pipeDepth
+			if *pipeDepth <= 0 {
+				pc.RecordDepth = -1
+			}
 		}
 		eng = pipeline.New(pc)
 		eng.EnablePCAccounting()
@@ -212,8 +227,18 @@ func main() {
 	fmt.Fprintf(os.Stderr, "instrs=%d interlocks=%d loads=%d (pool %d) stores=%d fetchwords=%d spills=%d\n",
 		m.Stats.Instrs, m.Stats.Interlocks, m.Stats.Loads, m.Stats.PoolLoads,
 		m.Stats.Stores, m.Stats.FetchWords, c.Spills)
-	if eng != nil {
+	if eng != nil && *account {
 		printAccount(eng, c.Image)
+	}
+	if *pipeTrace != "" {
+		// Written even after a fault: the recorder is a flight recorder,
+		// and the cycles leading up to the crash are the interesting ones.
+		if werr := writePipeTrace(*pipeTrace, eng, c.Image); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pipeline trace: %d events -> %s (chrome://tracing or ui.perfetto.dev)\n",
+			eng.Recorder().Len(), *pipeTrace)
 	}
 	if *verbose {
 		d := tracer.DurationsByName()
@@ -232,6 +257,20 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// writePipeTrace dumps the engine's flight-recorder contents as a
+// Chrome trace with one lane per pipeline stage.
+func writePipeTrace(path string, e *pipeline.Engine, img *prog.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.WriteChromeTrace(f, sim.NewSymTable(img)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printAccount prints the cycle attribution breakdown and the hottest

@@ -31,6 +31,10 @@ type Result struct {
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	InstrsPerSec float64 `json:"instrs_per_sec,omitempty"`
 	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	// GateThreshold, when positive, overrides the run-wide -threshold
+	// for this benchmark — used by overhead gates (pipe/throughput's 2%)
+	// that must be tighter than the general noise allowance.
+	GateThreshold float64 `json:"gate_threshold,omitempty"`
 }
 
 // Delta is one metric's old-vs-new comparison. Ratio is new/old for
@@ -45,9 +49,10 @@ type Delta struct {
 }
 
 // Compare matches benchmarks by name and flags every metric that got
-// worse by more than threshold (0.10 = 10%). Benchmarks present in only
-// one report are skipped: additions have no baseline and removals are
-// visible in the report diff, not a perf regression.
+// worse by more than threshold (0.10 = 10%); a benchmark carrying its
+// own GateThreshold is judged against that instead. Benchmarks present
+// in only one report are skipped: additions have no baseline and
+// removals are visible in the report diff, not a perf regression.
 func Compare(old, cur *Report, threshold float64) []Delta {
 	prev := map[string]Result{}
 	for _, r := range old.Benchmarks {
@@ -59,10 +64,14 @@ func Compare(old, cur *Report, threshold float64) []Delta {
 		if !ok {
 			continue
 		}
-		out = append(out, compareMetric(r.Name, "ns_per_op", p.NsPerOp, r.NsPerOp, false, threshold)...)
-		out = append(out, compareMetric(r.Name, "allocs_per_op", p.AllocsPerOp, r.AllocsPerOp, false, threshold)...)
-		out = append(out, compareMetric(r.Name, "instrs_per_sec", p.InstrsPerSec, r.InstrsPerSec, true, threshold)...)
-		out = append(out, compareMetric(r.Name, "points_per_sec", p.PointsPerSec, r.PointsPerSec, true, threshold)...)
+		th := threshold
+		if r.GateThreshold > 0 {
+			th = r.GateThreshold
+		}
+		out = append(out, compareMetric(r.Name, "ns_per_op", p.NsPerOp, r.NsPerOp, false, th)...)
+		out = append(out, compareMetric(r.Name, "allocs_per_op", p.AllocsPerOp, r.AllocsPerOp, false, th)...)
+		out = append(out, compareMetric(r.Name, "instrs_per_sec", p.InstrsPerSec, r.InstrsPerSec, true, th)...)
+		out = append(out, compareMetric(r.Name, "points_per_sec", p.PointsPerSec, r.PointsPerSec, true, th)...)
 	}
 	return out
 }

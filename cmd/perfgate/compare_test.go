@@ -16,7 +16,7 @@ func TestCompareDetectsRegression(t *testing.T) {
 		Result{Name: "sim/throughput", NsPerOp: 500, AllocsPerOp: 10, InstrsPerSec: 1e6},
 	)
 	cur := report(2,
-		Result{Name: "experiment/fig4", NsPerOp: 1200, AllocsPerOp: 100}, // 20% slower
+		Result{Name: "experiment/fig4", NsPerOp: 1200, AllocsPerOp: 100},                 // 20% slower
 		Result{Name: "sim/throughput", NsPerOp: 500, AllocsPerOp: 10, InstrsPerSec: 8e5}, // 25% less throughput
 	)
 	bad := Regressions(Compare(old, cur, 0.10))
@@ -52,6 +52,28 @@ func TestCompareAllocGrowthRegresses(t *testing.T) {
 	bad := Regressions(Compare(old, cur, 0.10))
 	if len(bad) != 1 || bad[0].Metric != "allocs_per_op" {
 		t.Fatalf("want one allocs_per_op regression, got %+v", bad)
+	}
+}
+
+func TestComparePerBenchmarkGateThreshold(t *testing.T) {
+	old := report(1,
+		Result{Name: "pipe/throughput", NsPerOp: 1000, InstrsPerSec: 1e6},
+		Result{Name: "sim/throughput", NsPerOp: 1000, InstrsPerSec: 1e6},
+	)
+	// Both lose 5% throughput; only the 2%-gated benchmark fails under
+	// the loose 10% run-wide threshold.
+	cur := report(2,
+		Result{Name: "pipe/throughput", NsPerOp: 1000, InstrsPerSec: 9.5e5, GateThreshold: 0.02},
+		Result{Name: "sim/throughput", NsPerOp: 1000, InstrsPerSec: 9.5e5},
+	)
+	bad := Regressions(Compare(old, cur, 0.10))
+	if len(bad) != 1 || bad[0].Name != "pipe/throughput" || bad[0].Metric != "instrs_per_sec" {
+		t.Fatalf("want only pipe/throughput instrs_per_sec to regress, got %+v", bad)
+	}
+	// Within its own gate, the tightened benchmark passes too.
+	cur.Benchmarks[0].InstrsPerSec = 9.9e5
+	if bad := Regressions(Compare(old, cur, 0.10)); len(bad) != 0 {
+		t.Fatalf("1%% drop is inside the 2%% gate: %+v", bad)
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/jobs"
 	"repro/internal/mcc"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
 
@@ -116,6 +117,13 @@ func main() {
 	}
 	if sel.MatchString("sim/throughput") {
 		r, err := benchSimThroughput()
+		if err != nil {
+			fatal(err)
+		}
+		cur.Benchmarks = append(cur.Benchmarks, r)
+	}
+	if sel.MatchString("pipe/throughput") {
+		r, err := benchPipeThroughput()
 		if err != nil {
 			fatal(err)
 		}
@@ -239,6 +247,49 @@ func benchSimThroughput() (Result, error) {
 		perIter := float64(instrs) / float64(iters)
 		r.InstrsPerSec = perIter * 1e9 / r.NsPerOp
 	}
+	return r, nil
+}
+
+// benchPipeThroughput measures simulator throughput with the
+// cycle-accounting pipeline engine attached and its flight recorder
+// DISABLED (RecordDepth zero) — the always-on production shape. Its 2%
+// gate is the recorder-overhead budget: the recorder hook sits on the
+// engine's charge path, and this benchmark fails the gate if a change
+// makes the disabled recorder cost more than 2% of engine throughput.
+func benchPipeThroughput() (Result, error) {
+	prog := bench.ByName("queens")
+	if prog == nil {
+		return Result{}, fmt.Errorf("pipe/throughput: benchmark queens missing")
+	}
+	c, err := mcc.Compile(prog.Name+".mc", prog.Source, isa.D16())
+	if err != nil {
+		return Result{}, err
+	}
+	var instrs, iters int64
+	r, err := run("pipe/throughput", func(b *testing.B) {
+		b.ReportAllocs()
+		instrs, iters = 0, int64(b.N)
+		for i := 0; i < b.N; i++ {
+			m, err := sim.New(c.Image)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := pipeline.New(pipeline.Config{BusBytes: 4, WaitStates: 1})
+			m.Attach(eng)
+			if err := m.Run(prog.MaxInstrs); err != nil {
+				b.Fatal(err)
+			}
+			instrs += m.Stats.Instrs
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if iters > 0 && r.NsPerOp > 0 {
+		perIter := float64(instrs) / float64(iters)
+		r.InstrsPerSec = perIter * 1e9 / r.NsPerOp
+	}
+	r.GateThreshold = 0.02
 	return r, nil
 }
 

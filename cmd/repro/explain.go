@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/explain"
+	"repro/internal/telemetry"
+)
+
+// runExplain answers `repro -explain`: parse the explain grammar, walk
+// the A/B drill-down (surface diff → worst movers → stall heatmaps →
+// annotated disassembly) and print the text report. With -json the
+// structured report also lands in <dir>/explain.json. The text output
+// is deterministic — byte-identical across repeated and -jobs N runs —
+// which make's explain-smoke target checks.
+func runExplain(lab *core.Lab, queryStr, jsonDir string) error {
+	q, err := explain.ParseQuery(queryStr)
+	if err != nil {
+		return err
+	}
+	rep, err := explain.Run(lab, q)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if jsonDir != "" {
+		if err := telemetry.WriteJSONFile(filepath.Join(jsonDir, "explain.json"), rep); err != nil {
+			return err
+		}
+		// Stderr, not stdout: the path varies per run and stdout must
+		// stay byte-identical for the explain-smoke determinism check.
+		fmt.Fprintf(os.Stderr, "[explain report written to %s]\n", filepath.Join(jsonDir, "explain.json"))
+	}
+	return nil
+}

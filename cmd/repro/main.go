@@ -35,6 +35,14 @@
 //	                                # store a -json run wrote; the JSON
 //	                                # answer is byte-identical to simd's
 //	                                # GET /v1/query for the same filter
+//	repro -explain 'a=D16/16/2 b=DLXe/32/3 bench=towers waits=1'
+//	                                # A/B drill-down: pair the two sides'
+//	                                # points (configs re-measured, .mcst
+//	                                # files read), rank the worst movers,
+//	                                # re-simulate them and print per-PC
+//	                                # stall heatmaps plus stall-annotated
+//	                                # disassembly; writes explain.json
+//	                                # with -json (see docs/EXPLAIN.md)
 //
 // With -json, the run also writes out/points.mcst: the columnar
 // measurement store (one point per bench × config × bus × wait states,
@@ -71,6 +79,7 @@ func main() {
 	timing := flag.Bool("timing", true, "stamp elapsed wall-clock seconds into per-experiment JSON (disable for byte-identical reruns)")
 	jobsN := flag.Int("jobs", 1, "simulation workers; >1 runs experiments concurrently through the job scheduler, with output assembled in deterministic submission order")
 	query := flag.String("query", "", "query the columnar measurement store instead of running experiments: key=value filter terms (bench, config/isa, bus, waits, cachekb, by, top; see docs/STORE.md)")
+	explainQ := flag.String("explain", "", "A/B explain drill-down: a=<config|store.mcst> b=<config|store.mcst> plus bench/bus/waits/cachekb/top/rows filters (see docs/EXPLAIN.md); writes <dir>/explain.json with -json")
 	storePath := flag.String("store", "", "measurement store file for -query (default <dir>/points.mcst next to -json output, see docs/STORE.md)")
 	flag.Parse()
 
@@ -138,6 +147,20 @@ func main() {
 		lab = core.NewLab()
 	}
 	ctx := &experiments.Ctx{Lab: lab, W: os.Stdout}
+
+	if *explainQ != "" {
+		if err := runExplain(lab, *explainQ, *jsonDir); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(2)
+		}
+		if *traceFile != "" {
+			if err := writeTrace(*traceFile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	if *account {
 		if err := runAccount(ctx, *jsonDir, *timing); err != nil {
@@ -284,6 +307,14 @@ func runAccount(ctx *experiments.Ctx, jsonDir string, timing bool) error {
 			return err
 		}
 		ctx.Rec = nil
+	}
+	if jsonDir != "" && len(ctx.Points) > 0 {
+		// Cached-memory points (CacheKB > 0) measured by the account
+		// experiment join the queryable surface; appending never rewrites
+		// the closed-form grid a -json run wrote.
+		if err := store.AppendFile(filepath.Join(jsonDir, "points.mcst"), ctx.Points); err != nil {
+			return err
+		}
 	}
 	if timing {
 		fmt.Printf("[account completed in %.1fs]\n\n", time.Since(start).Seconds())

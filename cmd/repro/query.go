@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,10 +9,12 @@ import (
 )
 
 // runQuery answers `repro -query` from a columnar measurement store:
-// parse the filter grammar, load the store, and print the result as
-// indented JSON. The document is store.QueryResult encoded exactly the
-// way simd's GET /v1/query encodes it, so the CLI and the service give
-// byte-identical answers for the same store and filter.
+// parse the filter grammar, stream the store block by block, and print
+// the result as indented JSON. The document is store.QueryResult
+// encoded exactly the way simd's GET /v1/query encodes it, so the CLI
+// and the service give byte-identical answers for the same store and
+// filter; streaming (store.QueryFile + store.WriteQueryJSON) keeps
+// memory bounded by the answer, not the surface.
 func runQuery(storePath, filterStr, jsonDir string) error {
 	if storePath == "" {
 		if jsonDir != "" {
@@ -26,15 +27,9 @@ func runQuery(storePath, filterStr, jsonDir string) error {
 	if err != nil {
 		return err
 	}
-	pts, err := store.ReadFile(storePath)
+	res, err := store.QueryFile(storePath, f)
 	if err != nil {
 		return fmt.Errorf("-query needs a store file written by `repro -run ... -json <dir>`: %w", err)
 	}
-	res, err := store.Query(pts, f)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(res)
+	return store.WriteQueryJSON(os.Stdout, res)
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/explain"
+)
+
+// explainParams is the accepted URL parameter set — the explain grammar
+// keys exactly, so the CLI and the service stay in lockstep.
+var explainParams = []string{
+	"a", "b", "bench", "bus", "waits", "cachekb", "top", "rows", "misspenalty", "threshold",
+}
+
+// handleExplain answers GET /v1/explain: the same A/B drill-down as
+// `repro -explain`, returned as the JSON report. Each side names a
+// compiler configuration, a .mcst store path readable by the server, or
+// the literal "store" for the server's own measurement surface (the
+// -store file plus every point measured by batches since).
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	q, err := explainQueryFromURL(r.URL.Query())
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	side := func(source string) (*explain.Side, error) {
+		if source == "store" {
+			return explain.SideFromPoints("store", s.snapshotPoints(), q)
+		}
+		return explain.ResolveSide(s.lab, source, q)
+	}
+	sa, err := side(q.A)
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sb, err := side(q.B)
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	rep, err := explain.RunSides(s.lab, q, sa, sb)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	statsFrom(r.Context()).annotate("matched", strconv.Itoa(rep.Matched))
+	statsFrom(r.Context()).annotate("drills", strconv.Itoa(len(rep.Drills)))
+	writeJSON(w, rep)
+}
+
+// explainQueryFromURL builds the explain query from URL parameters by
+// reassembling grammar terms, so validation and defaults live in one
+// parser shared with the CLI.
+func explainQueryFromURL(v url.Values) (explain.Query, error) {
+	var terms []string
+	for _, k := range explainParams {
+		if val := v.Get(k); val != "" {
+			terms = append(terms, k+"="+val)
+		}
+	}
+	for k := range v {
+		known := false
+		for _, p := range explainParams {
+			if k == p {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return explain.Query{}, fmt.Errorf("unknown query parameter %q", k)
+		}
+	}
+	return explain.ParseQuery(strings.Join(terms, " "))
+}

@@ -33,7 +33,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	statsFrom(r.Context()).annotate("matched", strconv.Itoa(res.Matched))
-	writeJSON(w, res)
+	w.Header().Set("Content-Type", "application/json")
+	// Stream points one at a time (byte-identical to writeJSON's
+	// encoder) instead of marshaling the whole result in one buffer.
+	store.WriteQueryJSON(w, res) //nolint:errcheck // headers are gone; nothing to report
 }
 
 // filterFromURL builds the store filter from URL query parameters,

@@ -124,6 +124,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/diff", s.handleDiff)
+	mux.HandleFunc("/v1/explain", s.handleExplain)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -310,20 +311,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 // specByName resolves a configuration by its paper column name
 // ("D16/16/2", "DLXe/32/3", ...) or the shorthands "d16" and "dlxe".
-func specByName(name string) *isa.Spec {
-	switch strings.ToLower(name) {
-	case "d16":
-		return isa.D16()
-	case "dlxe":
-		return isa.DLXe()
-	}
-	for _, s := range core.Configs() {
-		if strings.EqualFold(s.Name, name) {
-			return s
-		}
-	}
-	return nil
-}
+func specByName(name string) *isa.Spec { return core.ConfigByName(name) }
 
 func configNames() []string {
 	names := []string{"d16", "dlxe"}

@@ -1,9 +1,63 @@
 package core
 
 import (
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/mcc"
 	"repro/internal/memsys"
+	"repro/internal/pipeline"
 	"repro/internal/store"
 )
+
+// ConfigByName resolves a compiler configuration by its paper column
+// name ("D16/16/2", "DLXe/32/3", ...) or the shorthands "d16" and
+// "dlxe" (case-insensitive); nil when unknown. It is the shared name
+// resolution of simd, repro -explain and the batch API.
+func ConfigByName(name string) *isa.Spec {
+	switch strings.ToLower(name) {
+	case "d16":
+		return isa.D16()
+	case "dlxe":
+		return isa.DLXe()
+	}
+	for _, s := range Configs() {
+		if strings.EqualFold(s.Name, name) {
+			return s
+		}
+	}
+	return nil
+}
+
+// AccountPoint converts one cycle-accounted engine run into a store
+// point: bucket-for-bucket from the engine's attribution (so the
+// store's sum==cycles invariant holds by construction) under the
+// identity (bench, config, bus, waits, cachekb). Unlike
+// Measurement.Points, which expands the closed-form Appendix A model,
+// the point carries measured pipeline behaviour — including port
+// contention and cache misses — which is what lets cached-memory
+// configurations (CacheKB > 0) land in points.mcst at all.
+func AccountPoint(benchName, cfgName string, c *mcc.Compiled, e *pipeline.Engine, ac AccountConfig) store.Point {
+	p := store.Point{
+		Bench:        benchName,
+		Config:       cfgName,
+		BusBytes:     int64(ac.BusBytes),
+		WaitStates:   ac.WaitStates,
+		CacheKB:      int64(ac.CacheBytes / 1024),
+		Cycles:       e.Cycles(),
+		Instrs:       e.Instrs,
+		IFetchBytes:  e.FetchBytes(),
+		DMemBytes:    e.DataRequests * 4,
+		SizeBytes:    int64(c.Image.Size()),
+		TextBytes:    int64(len(c.Image.Text)),
+		StaticInstrs: int64(c.Image.TextInstrs),
+	}
+	bd := e.Breakdown()
+	for b := 0; b < pipeline.NumBuckets; b++ {
+		p.Buckets[b] = bd[b]
+	}
+	return p
+}
 
 // pointWaitStates is the wait-state grid a measurement expands into —
 // the same ℓ = 0..3 range SummaryRow reports CPI over.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/isa"
 	"repro/internal/pipeline"
 )
 
@@ -74,6 +75,23 @@ func accountBenches(c *Ctx, benches []*bench.Benchmark) error {
 		if err := accountDiff(c, b.Name, d16, dlxe); err != nil {
 			return err
 		}
+		// Persist the cached-memory points (CacheKB > 0): the closed-form
+		// grid in Lab.Points() only covers cacheless interfaces, so these
+		// measured cached cells are the only way cache configurations
+		// reach points.mcst. Cacheless engine points are NOT persisted —
+		// they would collide by key with the closed-form grid's cells
+		// under a different cycle model.
+		for _, side := range []struct {
+			spec *isa.Spec
+			run  *core.AccountRun
+		}{{cfgD16, d16}, {cfgX323, dlxe}} {
+			comp, err := c.Lab.Compile(b, side.spec)
+			if err != nil {
+				return err
+			}
+			c.Points = append(c.Points,
+				core.AccountPoint(b.Name, side.spec.Name, comp, side.run.Engines[1], cfgs[1]))
+		}
 		totals = append(totals, accountTotal{
 			bench:     b.Name,
 			d16Cyc:    d16.Engines[0].Cycles(),
@@ -102,8 +120,8 @@ func accountBenches(c *Ctx, benches []*bench.Benchmark) error {
 }
 
 type accountTotal struct {
-	bench              string
-	d16Cyc, dlxeCyc    int64
+	bench               string
+	d16Cyc, dlxeCyc     int64
 	d16Bytes, dlxeBytes int64
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/jobs"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -27,6 +28,12 @@ type Ctx struct {
 	Lab *core.Lab
 	W   io.Writer
 	Rec *telemetry.ExperimentResult
+
+	// Points collects measurement points produced by experiments that go
+	// beyond the closed-form grid Lab.Points() covers — today the
+	// account experiment's cached-memory configurations (CacheKB > 0) —
+	// so the driver can persist them alongside the regular surface.
+	Points []store.Point
 
 	// caption buffers narrative printf text since the last table; it
 	// becomes the next recorded table's caption.

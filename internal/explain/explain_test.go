@@ -1,0 +1,210 @@
+package explain
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+func TestParseQueryDefaults(t *testing.T) {
+	q, err := ParseQuery("a=d16 b=dlxe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewQuery()
+	want.A, want.B = "d16", "dlxe"
+	if q != want {
+		t.Fatalf("defaults: got %+v want %+v", q, want)
+	}
+
+	q, err = ParseQuery("a=D16/16/2, b=pts.mcst\tbench=queens bus=8 waits=0 cachekb=4 top=2 rows=6 misspenalty=12 threshold=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.A != "D16/16/2" || q.B != "pts.mcst" || q.Bench != "queens" ||
+		q.Bus != 8 || q.Waits != 0 || q.CacheKB != 4 ||
+		q.Top != 2 || q.Rows != 6 || q.MissPenalty != 12 || q.Threshold != 0.05 {
+		t.Fatalf("full grammar mis-parsed: %+v", q)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", "need both sides"},
+		{"a=d16", "need both sides"},
+		{"b=dlxe", "need both sides"},
+		{"a=d16 b=dlxe frob", "want key=value"},
+		{"a=d16 b=dlxe top=", "want key=value"},
+		{"a=d16 b=dlxe top=0", "want a positive integer"},
+		{"a=d16 b=dlxe rows=0", "want a positive integer"},
+		{"a=d16 b=dlxe top=-2", "want a non-negative integer"},
+		{"a=d16 b=dlxe bus=many", "want a non-negative integer"},
+		{"a=d16 b=dlxe waits=-1", "want a non-negative integer"},
+		{"a=d16 b=dlxe threshold=0", "want a positive number"},
+		{"a=d16 b=dlxe threshold=x", "want a positive number"},
+		{"a=d16 b=dlxe nope=1", `unknown key "nope"`},
+	}
+	for _, c := range cases {
+		_, err := ParseQuery(c.in)
+		if err == nil {
+			t.Errorf("ParseQuery(%q): want error containing %q, got nil", c.in, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseQuery(%q): error %q does not contain %q", c.in, err, c.want)
+		}
+	}
+}
+
+func pt(bench, config string, waits, cycles int64) store.Point {
+	p := store.Point{Bench: bench, Config: config, BusBytes: 4, WaitStates: waits, Cycles: cycles, Instrs: 1}
+	p.Buckets[0] = cycles
+	return p
+}
+
+func TestSideFromPoints(t *testing.T) {
+	q := NewQuery()
+	q.A, q.B = "x", "y"
+
+	pts := []store.Point{
+		pt("towers", "D16/16/2", 1, 100),
+		pt("queens", "D16/16/2", 1, 200),
+	}
+	s, err := SideFromPoints("mem", pts, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config != "D16/16/2" || len(s.Points) != 2 || s.Spec == nil {
+		t.Fatalf("side: config=%q points=%d spec=%v", s.Config, len(s.Points), s.Spec)
+	}
+
+	// Two configs under the selection is ambiguous.
+	mixed := append(pts, pt("towers", "DLXe/32/3", 1, 90))
+	if _, err := SideFromPoints("mem", mixed, q); err == nil ||
+		!strings.Contains(err.Error(), "holds 2 configs") {
+		t.Fatalf("mixed configs: want 'holds 2 configs' error, got %v", err)
+	}
+
+	// A selection that isolates one config resolves the ambiguity.
+	q.Bench = "queens"
+	if s, err = SideFromPoints("mem", mixed, q); err != nil || s.Config != "D16/16/2" {
+		t.Fatalf("selected side: %v config=%q", err, s.Config)
+	}
+
+	// No points under the selection.
+	q.Bench = "linpack"
+	if _, err := SideFromPoints("mem", mixed, q); err == nil ||
+		!strings.Contains(err.Error(), "matches no points") {
+		t.Fatalf("empty selection: want 'matches no points' error, got %v", err)
+	}
+
+	// Unknown config names still make a side — just one that cannot be
+	// re-simulated (Spec nil ⇒ drill-down is skipped with a note).
+	q = NewQuery()
+	if s, err = SideFromPoints("mem", []store.Point{pt("towers", "other", 1, 50)}, q); err != nil || s.Spec != nil {
+		t.Fatalf("foreign config side: err=%v spec=%v", err, s.Spec)
+	}
+}
+
+// TestRunEndToEnd walks the whole pipeline on a real benchmark: config
+// sides, pairing, drills, and deterministic rendering.
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates towers on both ISAs")
+	}
+	lab := core.NewLab()
+	q, err := ParseQuery("a=D16/16/2 b=DLXe/32/3 bench=towers waits=1 top=1 rows=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(lab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matched == 0 || len(rep.Deltas) == 0 {
+		t.Fatalf("no pairs matched: %+v", rep)
+	}
+	if len(rep.Drills) != 1 {
+		t.Fatalf("want 1 drill, got %d", len(rep.Drills))
+	}
+	dr := &rep.Drills[0]
+	if dr.EngineA.Cycles <= 0 || dr.EngineB.Cycles <= 0 {
+		t.Fatalf("drill engines empty: A=%d B=%d", dr.EngineA.Cycles, dr.EngineB.Cycles)
+	}
+	if dr.Func == "" || len(dr.DisA) == 0 || len(dr.DisB) == 0 {
+		t.Fatalf("drill missing disassembly: func=%q disA=%d disB=%d", dr.Func, len(dr.DisA), len(dr.DisB))
+	}
+	if len(dr.HeatA) == 0 || len(dr.HeatA) > q.Rows {
+		t.Fatalf("heatmap rows out of range: %d (cap %d)", len(dr.HeatA), q.Rows)
+	}
+
+	var r1, r2 bytes.Buffer
+	if err := rep.WriteText(&r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteText(&r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.String() != r2.String() {
+		t.Fatal("WriteText is not deterministic across renders")
+	}
+
+	// A fresh lab must reproduce the report byte for byte.
+	rep2, err := Run(core.NewLab(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r3 bytes.Buffer
+	if err := rep2.WriteText(&r3); err != nil {
+		t.Fatal(err)
+	}
+	if r1.String() != r3.String() {
+		t.Fatal("explain report differs across labs")
+	}
+}
+
+// TestResolveSideFromFile reads one side from a store file written on
+// the spot, then pairs it against itself relabeled — zero deltas, and
+// no drills because the foreign config cannot be re-simulated.
+func TestResolveSideFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "side.mcst")
+	pts := []store.Point{
+		pt("towers", "frozen", 1, 100),
+		pt("queens", "frozen", 1, 200),
+	}
+	if err := store.WriteFile(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery()
+	q.A, q.B = path, path
+	sa, err := ResolveSide(nil, path, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Config != "frozen" || len(sa.Points) != 2 || sa.Spec != nil {
+		t.Fatalf("file side: %+v", sa)
+	}
+	rep, err := RunSides(nil, q, sa, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matched != 2 || rep.Regressed != 0 || rep.Improved != 0 {
+		t.Fatalf("self diff: %+v", rep)
+	}
+	if len(rep.Drills) != 0 || len(rep.Notes) == 0 ||
+		!strings.Contains(rep.Notes[0], "drill-down skipped") {
+		t.Fatalf("want skipped-drill note, got drills=%d notes=%v", len(rep.Drills), rep.Notes)
+	}
+
+	if _, err := ResolveSide(nil, filepath.Join(t.TempDir(), "missing.mcst"), q); err == nil ||
+		!strings.Contains(err.Error(), "neither a known config") {
+		t.Fatalf("missing file: want resolution error, got %v", err)
+	}
+}

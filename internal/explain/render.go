@@ -1,0 +1,99 @@
+package explain
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/pipeline"
+)
+
+// WriteText renders the report for terminals: the paired-surface diff,
+// the ranked movers, then per-drill engine totals, stall heatmaps and
+// annotated disassembly. The output is deterministic for a given
+// report (no wall-clock, no map iteration), which is what lets make's
+// explain-smoke compare runs byte for byte.
+func (r *Report) WriteText(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("explain — B relative to baseline A\n")
+	p("  A: %s (source %s, %d points)\n", r.A.Config, r.A.Source, r.A.Points)
+	p("  B: %s (source %s, %d points)\n", r.B.Config, r.B.Source, r.B.Points)
+	p("matched %d cells; %d regressed, %d improved (threshold ±%.1f%%)\n",
+		r.Matched, r.Regressed, r.Improved, 100*r.Threshold)
+	for _, k := range r.OnlyA {
+		p("only in A: %s\n", k)
+	}
+	for _, k := range r.OnlyB {
+		p("only in B: %s\n", k)
+	}
+	for _, n := range r.Notes {
+		p("note: %s\n", n)
+	}
+	p("\n")
+
+	p("worst movers:\n")
+	p("  %-12s %4s %6s %8s %12s %12s %12s %8s  %s\n",
+		"bench", "bus", "waits", "cachekb", "cycles A", "cycles B", "delta", "rel", "worst bucket")
+	for _, d := range r.Deltas {
+		p("  %-12s %4d %6d %8d %12d %12d %+12d %+7.1f%%  %s\n",
+			d.Bench, d.BusBytes, d.WaitStates, d.CacheKB,
+			d.CyclesA, d.CyclesB, d.Delta, 100*d.Rel, d.WorstBucket)
+	}
+	p("\n")
+
+	for i := range r.Drills {
+		dr := &r.Drills[i]
+		p("== drill: %s ==\n", dr.PairKey)
+		p("engine totals: A %s %d cycles (CPI %.2f) | B %s %d cycles (CPI %.2f)\n",
+			dr.EngineA.Config, dr.EngineA.Cycles, dr.EngineA.CPI,
+			dr.EngineB.Config, dr.EngineB.Cycles, dr.EngineB.CPI)
+		p("engine buckets (A -> B):\n")
+		for b := 0; b < pipeline.NumBuckets; b++ {
+			av, bv := dr.EngineA.Buckets[b], dr.EngineB.Buckets[b]
+			if av == 0 && bv == 0 {
+				continue
+			}
+			p("  %-16s %12d -> %12d  (%+d)\n", pipeline.Bucket(b).String(), av, bv, bv-av)
+		}
+		writeHeat(p, "A", dr.EngineA.Config, dr.HeatA)
+		writeHeat(p, "B", dr.EngineB.Config, dr.HeatB)
+		if dr.Func != "" {
+			writeDis(p, dr.Func, "A", dr.EngineA.Config, dr.DisA)
+			writeDis(p, dr.Func, "B", dr.EngineB.Config, dr.DisB)
+		}
+		p("\n")
+	}
+	return err
+}
+
+func writeHeat(p func(string, ...any), side, config string, rows []HeatRow) {
+	p("stall heatmap — %s (%s), top PCs by stall:\n", side, config)
+	if len(rows) == 0 {
+		p("  (no stall cycles charged)\n")
+		return
+	}
+	p("  %-8s %-16s %10s %10s %-16s %s\n", "pc", "func", "cycles", "stall", "cause", "")
+	for _, h := range rows {
+		p("  %-8s %-16s %10d %10d %-16s %s\n", h.PC, h.Sym, h.Cycles, h.Stall, h.Cause, h.Bar)
+	}
+}
+
+func writeDis(p func(string, ...any), fn, side, config string, lines []DisLine) {
+	p("annotated disassembly — %s — %s (%s):\n", fn, side, config)
+	for _, l := range lines {
+		if l.Addr == "" {
+			p("  %s\n", l.Asm)
+			continue
+		}
+		cause := l.Cause
+		if l.Stall == 0 {
+			cause = ""
+		}
+		p("  %-8s %-28s %10d %8d  %s\n", l.Addr, l.Asm, l.Cycles, l.Stall, cause)
+	}
+}

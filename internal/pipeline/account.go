@@ -92,14 +92,20 @@ func (e *Engine) Breakdown() Breakdown {
 	return bd
 }
 
-// charge attributes n cycles at pc to bucket b.
-func (e *Engine) charge(pc uint32, b Bucket, n int64) {
+// charge attributes n cycles at pc to bucket b. The window occupies
+// stage st and ends at cycle end (inclusive); when a flight recorder is
+// attached the window is also emitted as a stage-occupancy event, so
+// the event stream mirrors the bucket charges exactly.
+func (e *Engine) charge(pc uint32, b Bucket, n int64, st Stage, end int64) {
 	if n == 0 {
 		return
 	}
 	e.buckets[b] += n
 	if e.perPC != nil {
 		e.pcRow(pc)[b] += n
+	}
+	if e.rec != nil {
+		e.rec.record(Event{Cycle: end - n + 1, N: n, PC: pc, Stage: st, Cause: b})
 	}
 }
 

@@ -66,6 +66,12 @@ type Config struct {
 	Caches *cache.System
 	// MissPenalty is the per-miss wait in cycles when Caches is set.
 	MissPenalty int64
+	// RecordDepth attaches a flight recorder to the engine: > 0 keeps a
+	// fixed ring of that many most-recent attribution events (cheap
+	// enough to leave always on), < 0 retains the full trace (short
+	// runs), 0 disables recording. Recording never changes the cycle
+	// results — it mirrors the exact charges the buckets receive.
+	RecordDepth int
 }
 
 // regMeta decomposes one register's readiness window for attribution:
@@ -104,7 +110,8 @@ type Engine struct {
 	buckets    Breakdown
 	perPC      []Breakdown // nil until EnablePCAccounting
 	perPCFetch []int64
-	fetchXfers int64 // bus transfers on the instruction side
+	fetchXfers int64     // bus transfers on the instruction side
+	rec        *Recorder // flight recorder, nil when disabled
 
 	// Counters.
 	Instrs        int64
@@ -117,7 +124,14 @@ type Engine struct {
 
 // New returns an engine for the given memory interface.
 func New(cfg Config) *Engine {
-	return &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg}
+	switch {
+	case cfg.RecordDepth > 0:
+		e.rec = NewRecorder(cfg.RecordDepth)
+	case cfg.RecordDepth < 0:
+		e.rec = NewFullRecorder()
+	}
+	return e
 }
 
 var _ sim.Observer = (*Engine)(nil)
@@ -126,7 +140,6 @@ var _ sim.Observer = (*Engine)(nil)
 // instruction.
 func (e *Engine) Exec(pc uint32, in isa.Instr) {
 	e.Instrs++
-	e.charge(pc, BUseful, 1)
 	issue := e.clock + 1
 
 	// Instruction fetch: a miss in the one-block fetch buffer is a memory
@@ -152,10 +165,12 @@ func (e *Engine) Exec(pc uint32, in isa.Instr) {
 				e.dBusFree = e.iBusFree
 			}
 			if done > issue {
+				// The refill occupies IF: contention first (waiting for
+				// the port), then the transfer latency ending at done.
 				delay := done - issue
 				latPart := min64(delay, cost)
-				e.charge(pc, bucket, latPart)
-				e.charge(pc, BPortContention, delay-latPart)
+				e.charge(pc, bucket, latPart, StageIF, done)
+				e.charge(pc, BPortContention, delay-latPart, StageIF, done-latPart)
 				e.FetchStall += delay
 				issue = done
 			}
@@ -181,19 +196,27 @@ func (e *Engine) Exec(pc uint32, in isa.Instr) {
 		blocking = -2 // FPSR
 	}
 	if stall := issue - preIssue; stall > 0 {
+		// The stall windows tile [preIssue, issue-1]: the base cause
+		// first, then port contention, then memory latency, so the
+		// producer's timeline reads left to right in the trace lanes.
 		e.Interlock += stall
 		if blocking == -2 {
-			e.charge(pc, BFPU, stall)
+			e.charge(pc, BFPU, stall, StageEX, issue-1)
 		} else {
 			m := &e.meta[blocking]
 			latPart := min64(stall, m.lat)
 			conPart := min64(stall-latPart, m.con)
-			e.charge(pc, m.latBucket, latPart)
-			e.charge(pc, BPortContention, conPart)
-			e.charge(pc, m.cause, stall-latPart-conPart)
+			e.charge(pc, m.latBucket, latPart, StageMEM, issue-1)
+			e.charge(pc, BPortContention, conPart, StageMEM, issue-1-latPart)
+			baseStage := StageID
+			if m.cause == BFPU {
+				baseStage = StageEX
+			}
+			e.charge(pc, m.cause, stall-latPart-conPart, baseStage, issue-1-latPart-conPart)
 		}
 	}
 	e.clock = issue
+	e.charge(pc, BUseful, 1, StageEX, issue)
 
 	// Result latency.
 	lat := int64(sim.LatNormal)

@@ -1,0 +1,177 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Stage identifies one of the five pipeline stages an attributed cycle
+// window occupies. The mapping from cause to stage is fixed: fetch-side
+// charges (ifetch waits, fetch-port contention, I-cache misses) land in
+// IF, load-delay-slot stalls in ID, useful issue cycles and FPU stalls
+// in EX, data-memory windows (data waits, data-port contention, D-cache
+// misses behind a load-use dependence) in MEM, and the synthetic drain
+// tail in WB.
+type Stage uint8
+
+const (
+	StageIF Stage = iota
+	StageID
+	StageEX
+	StageMEM
+	StageWB
+
+	NumStages int = int(iota)
+)
+
+var stageNames = [NumStages]string{"IF", "ID", "EX", "MEM", "WB"}
+
+// String returns the stage's conventional abbreviation.
+func (s Stage) String() string {
+	if int(s) >= NumStages {
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+	return stageNames[s]
+}
+
+// Event is one stage-occupancy record from the flight recorder: the
+// engine attributed N consecutive cycles starting at Cycle to Cause, on
+// behalf of the instruction at PC, occupying Stage. Windows are
+// run-length encoded but exact: summing N per cause over a full trace
+// reproduces the engine's bucket totals cycle for cycle (the recorder
+// property test pins this down).
+type Event struct {
+	Cycle int64  // first cycle of the window
+	N     int64  // window length in cycles (always > 0)
+	PC    uint32 // instruction the window is attributed to
+	Stage Stage
+	Cause Bucket
+}
+
+// Recorder is the pipeline flight recorder: a fixed-capacity ring of
+// attribution events cheap enough to leave always-on. Recording into a
+// full ring evicts the oldest event (flight-recorder semantics); the
+// running per-cause totals keep counting across evictions, so Totals
+// stays exact no matter how small the ring is. A Recorder, like the
+// Engine feeding it, is owned by a single run: no internal locking.
+//
+// The ring never allocates after construction; the full-trace mode
+// (NewFullRecorder) grows instead of evicting and is meant for short
+// runs that feed trace export or drill-down rendering.
+type Recorder struct {
+	buf     []Event
+	next    int // ring eviction cursor, meaningful once the ring is full
+	grow    bool
+	dropped int64
+	total   int64
+	totals  Breakdown
+}
+
+// NewRecorder returns a fixed-capacity flight recorder keeping the most
+// recent `capacity` events (minimum 1).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]Event, 0, capacity)}
+}
+
+// NewFullRecorder returns an unbounded recorder that retains every
+// event — full-trace mode for short runs.
+func NewFullRecorder() *Recorder { return &Recorder{grow: true} }
+
+// record appends one event, evicting the oldest when a fixed ring is
+// full. Zero allocations on the fixed-ring steady state.
+func (r *Recorder) record(ev Event) {
+	r.total++
+	r.totals[ev.Cause] += ev.N
+	if r.grow || len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	r.dropped++
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int { return len(r.buf) }
+
+// Total returns the number of events ever recorded, evicted included.
+func (r *Recorder) Total() int64 { return r.total }
+
+// Dropped returns the number of events evicted from a full ring.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Totals returns the per-cause cycle sums over every event ever
+// recorded (evicted ones included). On a complete run this equals the
+// engine's Breakdown minus the global-only drain bucket.
+func (r *Recorder) Totals() Breakdown { return r.totals }
+
+// Events returns the retained events oldest-first (a copy).
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) && !r.grow {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf...)
+}
+
+// SetRecorder attaches (or with nil detaches) a flight recorder; call
+// before the run. Engines built from a Config with RecordDepth set
+// already have one.
+func (e *Engine) SetRecorder(r *Recorder) { e.rec = r }
+
+// Recorder returns the attached flight recorder, or nil.
+func (e *Engine) Recorder() *Recorder { return e.rec }
+
+// WriteChromeTrace exports the recorded event stream as a Chrome
+// trace_event document (loadable in chrome://tracing and Perfetto) with
+// one lane per pipeline stage. Timestamps are simulated cycles written
+// into the microsecond field, so one trace-viewer "µs" reads as one
+// cycle. Each window becomes a complete event named by its stall cause
+// with the PC (and, when a symbol table is given, the containing
+// function) in its args; the global drain tail is emitted as one
+// synthetic WB-lane event so the lanes cover Cycles() exactly.
+func (e *Engine) WriteChromeTrace(w io.Writer, st *sim.SymTable) error {
+	if e.rec == nil {
+		return errors.New("pipeline: no recorder attached (set Config.RecordDepth or call SetRecorder before the run)")
+	}
+	events := e.rec.Events()
+	out := make([]telemetry.Event, 0, len(events)+NumStages+1)
+	for s := 0; s < NumStages; s++ {
+		out = append(out, telemetry.Event{
+			Name: "thread_name", Ph: "M", PID: 1, TID: s + 1,
+			Args: map[string]string{"name": Stage(s).String()},
+		})
+	}
+	for _, ev := range events {
+		te := telemetry.Event{
+			Name: ev.Cause.String(), Cat: "pipe", Ph: "X",
+			TS: float64(ev.Cycle), Dur: float64(ev.N),
+			PID: 1, TID: int(ev.Stage) + 1,
+			Args: map[string]string{"pc": fmt.Sprintf("%#06x", ev.PC)},
+		}
+		if st != nil {
+			te.Args["sym"] = st.Lookup(ev.PC)
+		}
+		out = append(out, te)
+	}
+	if e.Instrs > 0 {
+		out = append(out, telemetry.Event{
+			Name: BDrain.String(), Cat: "pipe", Ph: "X",
+			TS: float64(e.clock + 1), Dur: float64(DrainCycles),
+			PID: 1, TID: int(StageWB) + 1,
+		})
+	}
+	return telemetry.WriteChromeTrace(w, out)
+}

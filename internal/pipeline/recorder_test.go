@@ -1,0 +1,234 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// recorderGrid is the property-test grid: both ISAs × bus widths × wait
+// states × port sharing × cacheless/cached — the same coverage as
+// TestAttributionInvariant, with a full-trace recorder on every engine.
+func recorderGrid(t *testing.T, spec *isa.Spec) []Config {
+	t.Helper()
+	var cfgs []Config
+	for _, bus := range []uint32{4, 8} {
+		for _, waits := range []int64{0, 1, 2, 3} {
+			for _, shared := range []bool{false, true} {
+				cfgs = append(cfgs, Config{
+					BusBytes: bus, WaitStates: waits, SharedPort: shared,
+					RecordDepth: -1,
+				})
+			}
+		}
+		sys, err := cache.NewSystem(cache.PaperConfig(1024), cache.PaperConfig(1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs = append(cfgs, Config{
+			BusBytes: bus, Caches: sys, MissPenalty: 8, SharedPort: bus == 4,
+			RecordDepth: -1,
+		})
+	}
+	return cfgs
+}
+
+// TestRecorderEventsReproduceBuckets is the flight-recorder property
+// test: across ISAs × bus × waits × caches, summing the recorded
+// per-cycle events per cause reproduces the engine's bucket totals
+// exactly — the sum == Cycles() invariant extended to per-cycle
+// granularity — and the per-PC event sums reproduce the per-PC
+// attribution rows.
+func TestRecorderEventsReproduceBuckets(t *testing.T) {
+	for _, spec := range []*isa.Spec{isa.D16(), isa.DLXe()} {
+		cfgs := recorderGrid(t, spec)
+		engines, _ := runAccounted(t, spec, cfgs)
+		for i, e := range engines {
+			name := fmt.Sprintf("%s/%+v", spec, cfgs[i])
+			rec := e.Recorder()
+			if rec == nil {
+				t.Fatalf("%s: RecordDepth -1 attached no recorder", name)
+			}
+			if rec.Dropped() != 0 || int64(rec.Len()) != rec.Total() {
+				t.Errorf("%s: full recorder dropped %d of %d events", name, rec.Dropped(), rec.Total())
+			}
+
+			// Per-cause event sums == buckets (drain is global-only).
+			want := e.Breakdown()
+			want[BDrain] = 0
+			var fromEvents Breakdown
+			perPC := map[uint32]*Breakdown{}
+			for _, ev := range rec.Events() {
+				if ev.N <= 0 {
+					t.Fatalf("%s: event with non-positive length: %+v", name, ev)
+				}
+				if int(ev.Stage) >= NumStages {
+					t.Fatalf("%s: event with bad stage: %+v", name, ev)
+				}
+				fromEvents[ev.Cause] += ev.N
+				row := perPC[ev.PC]
+				if row == nil {
+					row = &Breakdown{}
+					perPC[ev.PC] = row
+				}
+				row[ev.Cause] += ev.N
+			}
+			if fromEvents != want {
+				t.Errorf("%s: event sums %v != buckets %v", name, fromEvents, want)
+			}
+			if fromEvents != rec.Totals() {
+				t.Errorf("%s: running totals %v != event sums %v", name, rec.Totals(), fromEvents)
+			}
+			if got, wantCyc := fromEvents.Sum()+DrainCycles, e.Cycles(); got != wantCyc {
+				t.Errorf("%s: event sum + drain = %d, cycles = %d", name, got, wantCyc)
+			}
+
+			// Per-PC: the events reconstruct every accounting row.
+			rows := e.PerPC()
+			for _, row := range rows {
+				got := perPC[row.PC]
+				if row.Buckets == (Breakdown{}) {
+					continue // fetch-bytes-only row, no cycles charged
+				}
+				if got == nil {
+					t.Errorf("%s: pc %#x has bucket cycles but no events", name, row.PC)
+					continue
+				}
+				if *got != row.Buckets {
+					t.Errorf("%s: pc %#x events %v != row %v", name, row.PC, *got, row.Buckets)
+				}
+				delete(perPC, row.PC)
+			}
+			for pc, bd := range perPC {
+				t.Errorf("%s: events at pc %#x (%v) with no accounting row", name, pc, *bd)
+			}
+		}
+	}
+}
+
+// TestRecorderRingExactTotals: a tiny ring must evict events yet keep
+// the per-cause running totals exact, and retain exactly its capacity
+// of the most recent events in order.
+func TestRecorderRingExactTotals(t *testing.T) {
+	const depth = 64
+	cfgs := []Config{
+		{BusBytes: 4, WaitStates: 2, SharedPort: true, RecordDepth: depth},
+		{BusBytes: 4, WaitStates: 2, SharedPort: true, RecordDepth: -1},
+	}
+	engines, _ := runAccounted(t, isa.D16(), cfgs)
+	ring, full := engines[0].Recorder(), engines[1].Recorder()
+
+	want := engines[0].Breakdown()
+	want[BDrain] = 0
+	if ring.Totals() != want {
+		t.Errorf("ring totals %v != buckets %v", ring.Totals(), want)
+	}
+	if ring.Len() != depth {
+		t.Errorf("ring retained %d events, want %d", ring.Len(), depth)
+	}
+	if got, wantN := ring.Dropped(), ring.Total()-depth; got != wantN {
+		t.Errorf("ring dropped %d, want %d", got, wantN)
+	}
+	if ring.Total() != full.Total() {
+		t.Errorf("ring saw %d events, full recorder saw %d", ring.Total(), full.Total())
+	}
+	// The retained window is the tail of the full trace, oldest first.
+	tail := full.Events()
+	tail = tail[len(tail)-depth:]
+	got := ring.Events()
+	for i := range tail {
+		if got[i] != tail[i] {
+			t.Fatalf("ring event %d = %+v, want %+v", i, got[i], tail[i])
+		}
+	}
+}
+
+// TestRecorderRecordNoAlloc: the steady-state ring record path must not
+// allocate (the always-on property).
+func TestRecorderRecordNoAlloc(t *testing.T) {
+	r := NewRecorder(16)
+	ev := Event{Cycle: 1, N: 1, PC: isa.TextBase, Stage: StageEX, Cause: BUseful}
+	allocs := testing.AllocsPerRun(1000, func() { r.record(ev) })
+	if allocs != 0 {
+		t.Errorf("record allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestWriteChromeTrace: the export is valid JSON with one named lane
+// per stage, cause-named events carrying pc/sym args, and a drain tail.
+func TestWriteChromeTrace(t *testing.T) {
+	cfgs := []Config{{BusBytes: 4, WaitStates: 1, RecordDepth: -1}}
+	engines, st := runAccounted(t, isa.D16(), cfgs)
+	e := engines[0]
+
+	var buf bytes.Buffer
+	if err := e.WriteChromeTrace(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	lanes := map[string]bool{}
+	var drains, windows int
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			lanes[ev.Args["name"]] = true
+		case ev.Name == BDrain.String():
+			drains++
+			if ev.Dur != DrainCycles {
+				t.Errorf("drain event dur %v, want %d", ev.Dur, DrainCycles)
+			}
+		case ev.Ph == "X":
+			windows++
+			if ev.Args["pc"] == "" || ev.Args["sym"] == "" {
+				t.Errorf("window event %q missing pc/sym args: %v", ev.Name, ev.Args)
+			}
+			if ev.TID < 1 || ev.TID > NumStages {
+				t.Errorf("window event %q on lane %d, want 1..%d", ev.Name, ev.TID, NumStages)
+			}
+		}
+	}
+	for s := 0; s < NumStages; s++ {
+		if !lanes[Stage(s).String()] {
+			t.Errorf("no lane metadata for stage %s (got %v)", Stage(s), lanes)
+		}
+	}
+	if drains != 1 {
+		t.Errorf("trace has %d drain events, want 1", drains)
+	}
+	if int64(windows) != e.Recorder().Total() {
+		t.Errorf("trace has %d windows, recorder holds %d", windows, e.Recorder().Total())
+	}
+	if e2 := New(Config{BusBytes: 4}); e2.WriteChromeTrace(&buf, nil) == nil {
+		t.Error("WriteChromeTrace without a recorder should fail")
+	}
+}
+
+// TestStageString pins the lane names.
+func TestStageString(t *testing.T) {
+	want := []string{"IF", "ID", "EX", "MEM", "WB"}
+	for i, w := range want {
+		if got := Stage(i).String(); got != w {
+			t.Errorf("Stage(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if got := Stage(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("out-of-range stage renders %q", got)
+	}
+}

@@ -157,6 +157,9 @@ func ParseFilter(s string) (Filter, error) {
 		case "top":
 			var n int64
 			if n, err = num(); err == nil {
+				if n == 0 {
+					return f, fmt.Errorf("store: filter top=%q: top must be a positive integer", v)
+				}
 				f.Top = int(n)
 			}
 		default:

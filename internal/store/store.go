@@ -334,24 +334,15 @@ func AppendFile(path string, pts []Point) error {
 
 // Read parses a store file and returns every point of every block in
 // file order (duplicate keys possible across blocks; Canon resolves
-// them last-write-wins).
+// them last-write-wins). It is Scan with full materialization; prefer
+// Scan or QueryFile when the surface may be large.
 func Read(r io.Reader) ([]Point, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, err
-	}
-	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
-		return nil, fmt.Errorf("store: not a measurement store (missing %q header)", Magic[:len(Magic)-1])
-	}
 	var pts []Point
-	rest := data[len(Magic):]
-	for len(rest) > 0 {
-		block, n, err := readBlock(rest)
-		if err != nil {
-			return nil, err
-		}
+	if err := Scan(r, func(block []Point) error {
 		pts = append(pts, block...)
-		rest = rest[n:]
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return pts, nil
 }
@@ -368,89 +359,4 @@ func ReadFile(path string) ([]Point, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return pts, nil
-}
-
-// readBlock parses one block from the front of data, returning its
-// points and the number of bytes consumed.
-func readBlock(data []byte) ([]Point, int, error) {
-	pos := 0
-	if len(data) < len(blockTag) || string(data[:len(blockTag)]) != blockTag {
-		return nil, 0, fmt.Errorf("store: corrupt block header at offset %d", pos)
-	}
-	pos += len(blockTag)
-	uvarint := func() (uint64, error) {
-		v, n := binary.Uvarint(data[pos:])
-		if n <= 0 {
-			return 0, fmt.Errorf("store: truncated varint at offset %d", pos)
-		}
-		pos += n
-		return v, nil
-	}
-	nPoints, err := uvarint()
-	if err != nil {
-		return nil, 0, err
-	}
-	nStrings, err := uvarint()
-	if err != nil {
-		return nil, 0, err
-	}
-	if nPoints > uint64(len(data)) || nStrings > uint64(len(data)) {
-		return nil, 0, fmt.Errorf("store: implausible block counts (%d points, %d strings)", nPoints, nStrings)
-	}
-	dict := make([]string, nStrings)
-	for i := range dict {
-		n, err := uvarint()
-		if err != nil {
-			return nil, 0, err
-		}
-		if uint64(pos)+n > uint64(len(data)) {
-			return nil, 0, fmt.Errorf("store: truncated dictionary string at offset %d", pos)
-		}
-		dict[i] = string(data[pos : pos+int(n)])
-		pos += int(n)
-	}
-	nCols, err := uvarint()
-	if err != nil {
-		return nil, 0, err
-	}
-	if nCols != numCols {
-		return nil, 0, fmt.Errorf("store: block has %d columns, format v1 has %d", nCols, numCols)
-	}
-	cols := make([][]uint64, numCols)
-	for j := 0; j < numCols; j++ {
-		byteLen, err := uvarint()
-		if err != nil {
-			return nil, 0, err
-		}
-		if uint64(pos)+byteLen > uint64(len(data)) {
-			return nil, 0, fmt.Errorf("store: truncated column %d at offset %d", j, pos)
-		}
-		end := pos + int(byteLen)
-		col := make([]uint64, 0, nPoints)
-		for pos < end {
-			v, n := binary.Uvarint(data[pos:end])
-			if n <= 0 {
-				return nil, 0, fmt.Errorf("store: corrupt varint in column %d at offset %d", j, pos)
-			}
-			pos += n
-			col = append(col, v)
-		}
-		if uint64(len(col)) != nPoints {
-			return nil, 0, fmt.Errorf("store: column %d has %d values, block has %d points", j, len(col), nPoints)
-		}
-		cols[j] = col
-	}
-	pts := make([]Point, nPoints)
-	for i := range pts {
-		var c [numCols]uint64
-		for j := 0; j < numCols; j++ {
-			c[j] = cols[j][i]
-		}
-		if c[0] >= uint64(len(dict)) || c[1] >= uint64(len(dict)) {
-			return nil, 0, fmt.Errorf("store: point %d references string %d/%d outside dictionary of %d", i, c[0], c[1], len(dict))
-		}
-		pts[i].Bench, pts[i].Config = dict[c[0]], dict[c[1]]
-		pts[i].setCols(c)
-	}
-	return pts, pos, nil
 }

@@ -1,0 +1,200 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// encodeQueryResult renders the result the way the CLI and service
+// historically did: one json.Encoder with two-space indentation. The
+// streaming writer must reproduce these bytes exactly.
+func encodeQueryResult(t *testing.T, res *QueryResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestScanStreamsBlocks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "points.mcst")
+	pts := testPoints()
+	if err := AppendFile(path, pts[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendFile(path, pts[10:]); err != nil {
+		t.Fatal(err)
+	}
+	var blocks int
+	var got []Point
+	if err := ScanFile(path, func(b []Point) error {
+		blocks++
+		got = append(got, b...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if blocks != 2 {
+		t.Fatalf("scanned %d blocks, want 2", blocks)
+	}
+	want, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan yielded %d points, Read %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d: scan %+v, Read %+v", i, got[i], want[i])
+		}
+	}
+
+	// A callback error stops the scan and surfaces verbatim.
+	sentinel := errors.New("stop")
+	err = ScanFile(path, func([]Point) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("callback error surfaced as %v, want %v", err, sentinel)
+	}
+}
+
+// TestQueryFileMatchesQuery: the streaming query must be byte-identical
+// to materializing the file and querying in memory — including
+// last-write-wins dedupe across blocks, metric ordering and top-N.
+func TestQueryFileMatchesQuery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "points.mcst")
+	pts := testPoints()
+	if err := AppendFile(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	// A later block rewrites one key (append-only update semantics).
+	dup := mkPoint("queens", "D16/16/2", 4, 0, 31337)
+	if err := AppendFile(path, []Point{dup}); err != nil {
+		t.Fatal(err)
+	}
+	all, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bench := NewFilter()
+	bench.Bench = "queens"
+	bench.WaitStates = 2
+	top := NewFilter()
+	top.By, top.Top = "cycles", 3
+	none := NewFilter()
+	none.Bench = "nomatch"
+	for _, f := range []Filter{NewFilter(), bench, top, none} {
+		mem, err := Query(all, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file, err := QueryFile(path, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := encodeQueryResult(t, mem), encodeQueryResult(t, file)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("filter %q: QueryFile differs from Query:\n%s\nvs\n%s", f.String(), b, a)
+		}
+	}
+
+	// The duplicate key resolved to the last write.
+	one := NewFilter()
+	one.Bench, one.WaitStates, one.BusBytes = "queens", 0, 4
+	one.Config = "D16/16/2"
+	res, err := QueryFile(path, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Points[0].Cycles != 31337 {
+		t.Fatalf("duplicate key not last-write-wins: %+v", res.Points)
+	}
+
+	if _, err := QueryFile(path, Filter{By: "bogus"}); err == nil {
+		t.Fatal("unknown sort metric accepted")
+	}
+	if _, err := QueryFile(filepath.Join(t.TempDir(), "absent.mcst"), NewFilter()); err == nil {
+		t.Fatal("missing file queried without error")
+	}
+}
+
+// TestWriteQueryJSONMatchesEncoder is the byte-parity contract of the
+// streaming writer, including the empty-match and nil-points shapes and
+// JSON string escaping in names.
+func TestWriteQueryJSONMatchesEncoder(t *testing.T) {
+	pts := testPoints()
+	pts = append(pts, mkPoint("a<b&c", "D16/16/2", 4, 0, 100))
+
+	weird := NewFilter()
+	weird.Bench = "a<b&c"
+	empty := NewFilter()
+	empty.Bench = "nomatch"
+	top := NewFilter()
+	top.By, top.Top = "cpi", 5
+	var results []*QueryResult
+	for _, f := range []Filter{NewFilter(), weird, empty, top} {
+		res, err := Query(pts, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	results = append(results, &QueryResult{Filter: "x"}) // nil Points
+
+	for i, res := range results {
+		var buf bytes.Buffer
+		if err := WriteQueryJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		want := encodeQueryResult(t, res)
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("result %d: streaming writer differs from encoder:\n%q\nvs\n%q",
+				i, buf.String(), want)
+		}
+	}
+}
+
+// TestParseFilterErrorPaths: every malformed input names the offending
+// key and constraint (satellite: grammar validation).
+func TestParseFilterErrorPaths(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // substring of the error
+	}{
+		{"bench", "key=value"},
+		{"top=", "key=value"},
+		{"waits=-1", "non-negative integer"},
+		{"waits=x", "non-negative integer"},
+		{"bus=4.5", "non-negative integer"},
+		{"cachekb=lots", "non-negative integer"},
+		{"top=0", "positive integer"},
+		{"top=-3", "non-negative integer"},
+		{"top=ten", "non-negative integer"},
+		{"by=bogus", "valid metrics"},
+		{"nope=1", `unknown filter key "nope"`},
+		{"bench=queens nope=1", `unknown filter key "nope"`},
+	}
+	for _, c := range cases {
+		_, err := ParseFilter(c.in)
+		if err == nil {
+			t.Errorf("ParseFilter(%q) accepted", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseFilter(%q) error %q does not mention %q", c.in, err, c.want)
+		}
+	}
+	// top=1 is the smallest valid value.
+	f, err := ParseFilter("top=1")
+	if err != nil || f.Top != 1 {
+		t.Errorf("ParseFilter(top=1) = %+v, %v", f, err)
+	}
+}

@@ -123,15 +123,23 @@ func (t *Tracer) DurationsByName() map[string]time.Duration {
 	return out
 }
 
-// WriteChromeTrace writes every recorded event as a Chrome trace_event
-// JSON document (object form, loadable in chrome://tracing / Perfetto).
-func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+// WriteChromeTrace writes events as a Chrome trace_event JSON document
+// (object form, loadable in chrome://tracing / Perfetto). Any event
+// producer can use it; the pipeline flight recorder exports its
+// per-stage lanes through the same writer the span tracer uses.
+func WriteChromeTrace(w io.Writer, events []Event) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(struct {
 		TraceEvents     []Event `json:"traceEvents"`
 		DisplayTimeUnit string  `json:"displayTimeUnit"`
-	}{t.Events(), "ms"})
+	}{events, "ms"})
+}
+
+// WriteChromeTrace writes every recorded span as a Chrome trace_event
+// JSON document.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.Events())
 }
 
 // globalTracer is consulted by StartSpan; nil (the default) makes every
