@@ -6,9 +6,9 @@
 TMP := /tmp/repro-make
 BIN := $(TMP)/bin
 
-.PHONY: check build test vet lint verify fuzz-short smoke store-smoke determinism explain-smoke serve-smoke bench clean
+.PHONY: check build test vet lint verify fuzz-short smoke store-smoke determinism explain-smoke sweep-smoke serve-smoke bench clean
 
-check: vet lint build test fuzz-short verify smoke store-smoke determinism explain-smoke serve-smoke
+check: vet lint build test fuzz-short verify smoke store-smoke determinism explain-smoke sweep-smoke serve-smoke
 
 vet:
 	go vet ./...
@@ -29,10 +29,13 @@ $(BIN)/detlint: build
 verify: $(BIN)/repro
 	$(BIN)/repro -verify
 
-# Short fuzz pass over the verifier's corpus: random instruction
-# streams must never panic it.
+# Short fuzz passes: random instruction streams must never panic the
+# verifier, and generated corpus programs must compile, verify and
+# compute identical results on every ISA (the standing miscompile
+# fuzzer, docs/SWEEP.md).
 fuzz-short:
 	go test ./internal/verify/ -fuzz FuzzVerify -fuzztime 10s -run '^$$'
+	go test ./internal/mcc/ -fuzz FuzzDifferential -fuzztime 10s -run '^$$'
 
 build:
 	go build ./...
@@ -99,6 +102,18 @@ explain-smoke: $(BIN)/repro
 	cmp $(TMP)/exp-a/explain.json $(TMP)/exp-b/explain.json
 	cmp $(TMP)/exp-a/explain.json $(TMP)/exp-j8/explain.json
 	@echo "explain smoke ok: A/B drill-down byte-identical across runs and -jobs 8"
+
+# Sweep smoke: a small full-factorial sweep over generated programs
+# must pass every verify + differential gate, produce a byte-identical
+# surface sequentially and under -jobs 8, and answer queries
+# (docs/SWEEP.md).
+sweep-smoke: $(BIN)/repro
+	$(BIN)/repro -sweep 'classes=loopy,callheavy count=2 seed=7 waits=0-2' -store $(TMP)/sweep-a.mcst -faildir $(TMP)/sweep-fail-a > $(TMP)/sweep-a.out
+	$(BIN)/repro -sweep 'classes=loopy,callheavy count=2 seed=7 waits=0-2' -store $(TMP)/sweep-b.mcst -faildir $(TMP)/sweep-fail-b -jobs 8 > $(TMP)/sweep-b.out
+	cmp $(TMP)/sweep-a.out $(TMP)/sweep-b.out
+	cmp $(TMP)/sweep-a.mcst $(TMP)/sweep-b.mcst
+	$(BIN)/repro -query 'by=cycles top=3' -store $(TMP)/sweep-a.mcst | grep -q '"matched"'
+	@echo "sweep smoke ok: corpus verified, surface byte-identical across -jobs 8"
 
 # Service smoke: boot simd, hit /healthz, run the same one-point batch
 # twice (the repeat must be served from the result cache with an

@@ -136,6 +136,20 @@ func main() {
 		}
 		cur.Benchmarks = append(cur.Benchmarks, r)
 	}
+	if sel.MatchString("synth/throughput") {
+		r, err := benchSynthThroughput()
+		if err != nil {
+			fatal(err)
+		}
+		cur.Benchmarks = append(cur.Benchmarks, r)
+	}
+	if sel.MatchString("sweep/throughput") {
+		r, err := benchSweepThroughput()
+		if err != nil {
+			fatal(err)
+		}
+		cur.Benchmarks = append(cur.Benchmarks, r)
+	}
 	if len(cur.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmarks match -bench %q", *pattern))
 	}

@@ -43,6 +43,17 @@
 //	                                # stall heatmaps plus stall-annotated
 //	                                # disassembly; writes explain.json
 //	                                # with -json (see docs/EXPLAIN.md)
+//	repro -sweep 'classes=loopy,callheavy count=50 seed=7 waits=0-3'
+//	                                # generate a verified synthetic corpus
+//	                                # (every program compiles on all ISAs,
+//	                                # passes the machine-code verifier and
+//	                                # computes identical output on D16 and
+//	                                # DLXe) and cross it with the hardware
+//	                                # grid, streaming the surface into the
+//	                                # -store file; failing programs leave a
+//	                                # minimized .mc in -faildir plus a
+//	                                # one-line repro; exit 4 on failures
+//	                                # (see docs/SWEEP.md)
 //
 // With -json, the run also writes out/points.mcst: the columnar
 // measurement store (one point per bench × config × bus × wait states,
@@ -80,14 +91,16 @@ func main() {
 	jobsN := flag.Int("jobs", 1, "simulation workers; >1 runs experiments concurrently through the job scheduler, with output assembled in deterministic submission order")
 	query := flag.String("query", "", "query the columnar measurement store instead of running experiments: key=value filter terms (bench, config/isa, bus, waits, cachekb, by, top; see docs/STORE.md)")
 	explainQ := flag.String("explain", "", "A/B explain drill-down: a=<config|store.mcst> b=<config|store.mcst> plus bench/bus/waits/cachekb/top/rows filters (see docs/EXPLAIN.md); writes <dir>/explain.json with -json")
-	storePath := flag.String("store", "", "measurement store file for -query (default <dir>/points.mcst next to -json output, see docs/STORE.md)")
+	storePath := flag.String("store", "", "measurement store file for -query and -sweep (default <dir>/points.mcst next to -json output, see docs/STORE.md)")
+	sweepSpec := flag.String("sweep", "", "full-factorial design-space sweep over a generated, verified synthetic corpus: key=value terms (classes, count, seed, progseed, isa, bus, waits, cachekb, misspenalty; see docs/SWEEP.md); writes the surface to -store")
+	failDir := flag.String("faildir", "", "artifact directory for sweep failures: minimized .mc source per failing program (default <dir>/sweep-failures)")
 	flag.Parse()
 
 	if *listen != "" {
 		serveDebug(*listen)
 	}
 
-	if *query != "" || *storePath != "" {
+	if *sweepSpec == "" && (*query != "" || *storePath != "") {
 		if err := runQuery(*storePath, *query, *jsonDir); err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)
 			os.Exit(2)
@@ -147,6 +160,24 @@ func main() {
 		lab = core.NewLab()
 	}
 	ctx := &experiments.Ctx{Lab: lab, W: os.Stdout}
+
+	if *sweepSpec != "" {
+		failed, err := runSweep(lab, *sweepSpec, *storePath, *failDir, *jsonDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(2)
+		}
+		if *traceFile != "" {
+			if err := writeTrace(*traceFile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if failed > 0 {
+			os.Exit(4)
+		}
+		return
+	}
 
 	if *explainQ != "" {
 		if err := runExplain(lab, *explainQ, *jsonDir); err != nil {

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// runSweep answers `repro -sweep`: parse the sweep grammar, generate
+// the verified synthetic corpus, fan the full-factorial grid through
+// the lab and stream the surface into the store file. Stdout (spec
+// header, per-failure repro lines, summary) is deterministic —
+// byte-identical across repeated and -jobs N runs, which make's
+// sweep-smoke target checks; run-variable paths go to stderr. Returns
+// the number of failing programs (the caller exits 4 when nonzero) —
+// every failure has already been reported with a one-line repro and,
+// when the artifact dir is writable, a minimized .mc source.
+func runSweep(lab *core.Lab, specStr, storePath, failDir, jsonDir string) (int, error) {
+	spec, err := sweep.Parse(specStr)
+	if err != nil {
+		return 0, err
+	}
+	if storePath == "" {
+		storePath = "points.mcst"
+		if jsonDir != "" {
+			storePath = filepath.Join(jsonDir, "points.mcst")
+		}
+	}
+	if failDir == "" {
+		failDir = "sweep-failures"
+		if jsonDir != "" {
+			failDir = filepath.Join(jsonDir, "sweep-failures")
+		}
+	}
+	r := &sweep.Runner{Lab: lab, FailDir: failDir, Log: os.Stdout, Errw: os.Stderr}
+	sum, err := r.Run(spec, storePath)
+	if err != nil {
+		return 0, err
+	}
+	// Stderr, not stdout: the path varies per run and stdout must stay
+	// byte-identical for the sweep-smoke determinism check.
+	fmt.Fprintf(os.Stderr, "[sweep surface written to %s]\n", storePath)
+	return len(sum.Failures), nil
+}

@@ -1,9 +1,6 @@
 package bench
 
-import (
-	"fmt"
-	"strings"
-)
+import "repro/internal/synth"
 
 // The two large cache benchmarks. The paper uses TeX and a PostScript
 // plotting package (ipl): hundreds of kilobytes of text with phase-like
@@ -13,133 +10,42 @@ import (
 // caches, touched in phases (groups of procedures iterated a few times,
 // with shared utility routines churning the cache between phases).
 // DESIGN.md documents this substitution.
-
-type synthParams struct {
-	name   string
-	desc   string
-	funcs  int // total generated leaf functions
-	groups int // phases
-	reps   int // repetitions of each phase per outer iteration
-	iters  int // outer iterations
-}
+//
+// The emitter lives in internal/synth (EmitPhased), shared with the
+// random-program corpus; the generated source for latex and ipl is
+// byte-pinned by a regression test so the paper benchmarks can never
+// drift under generator changes.
 
 // Latex is the TeX-like large-program benchmark.
 func Latex() *Benchmark {
-	return genSynth(synthParams{
-		name:   "latex",
-		desc:   "The typesetter (generated large-program stand-in).",
-		funcs:  480,
-		groups: 12,
-		reps:   2,
-		iters:  8,
-	})
+	return &Benchmark{
+		Name:       "latex",
+		Desc:       "The typesetter (generated large-program stand-in).",
+		MaxInstrs:  400_000_000,
+		CacheBench: true,
+		Source: synth.EmitPhased(synth.PhasedParams{
+			Name:   "latex",
+			Funcs:  480,
+			Groups: 12,
+			Reps:   2,
+			Iters:  8,
+		}),
+	}
 }
 
 // IPL is the PostScript-plotting-like large-program benchmark.
 func IPL() *Benchmark {
-	return genSynth(synthParams{
-		name:   "ipl",
-		desc:   "PostScript plotting package (generated large-program stand-in).",
-		funcs:  300,
-		groups: 6,
-		reps:   3,
-		iters:  8,
-	})
-}
-
-// genSynth builds one synthetic large program.
-func genSynth(p synthParams) *Benchmark {
-	var b strings.Builder
-	seed := uint32(0x9E3779B9) ^ uint32(len(p.name)*2654435761)
-	rnd := func(n int) int {
-		seed = seed*1664525 + 1013904223
-		return int(seed>>8) % n
-	}
-
-	fmt.Fprintf(&b, "int state[64];\nint acc;\nint fixsin[16] = {0, 98, 195, 290, 382, 471, 556, 634, 707, 773, 831, 881, 924, 957, 981, 995};\n\n")
-
-	// Shared utility routines (called from every phase; they keep a hot
-	// core resident like a real program's allocator/IO layer).
-	b.WriteString(`
-int util_hash(int x) {
-	x = x ^ (x >> 7);
-	x = x + (x << 3);
-	x = x ^ (x >> 11);
-	return x;
-}
-
-int util_clamp(int x, int lo, int hi) {
-	if (x < lo) return lo;
-	if (x > hi) return hi;
-	return x;
-}
-
-int util_fixmul(int a, int b) {
-	/* 16.16-ish fixed point via shifts (PostScript-style geometry) */
-	return (a >> 8) * (b >> 8);
-}
-
-int util_sin(int deg) {
-	int d = deg % 60;
-	if (d < 0) d = d + 60;
-	if (d < 16) return fixsin[d];
-	if (d < 30) return fixsin[30 - d];
-	if (d < 46) return -fixsin[d - 30];
-	return -fixsin[60 - d];
-}
-`)
-
-	// Leaf functions: each reads/writes a couple of state slots with a
-	// distinct operation mix.
-	for i := 0; i < p.funcs; i++ {
-		s1, s2, s3 := rnd(64), rnd(64), rnd(64)
-		c1, c2 := rnd(29)+1, rnd(13)+1
-		fmt.Fprintf(&b, "int fn%d(int x) {\n", i)
-		fmt.Fprintf(&b, "\tint a = state[%d] + x;\n", s1)
-		switch rnd(5) {
-		case 0:
-			fmt.Fprintf(&b, "\tint i;\n\tfor (i = 0; i < %d; i++) a += state[(a + i) & 63];\n", rnd(4)+2)
-			fmt.Fprintf(&b, "\ta = util_hash(a + %d);\n", c1)
-		case 1:
-			fmt.Fprintf(&b, "\tif (a > state[%d]) a -= %d; else a += %d;\n", s2, c1, c2)
-			fmt.Fprintf(&b, "\ta = util_clamp(a, -%d, %d);\n", c1*1000, c2*1000)
-		case 2:
-			fmt.Fprintf(&b, "\ta = util_fixmul(a + %d, state[%d] + %d);\n", c1, s2, c2)
-			fmt.Fprintf(&b, "\ta += util_sin(a & 63);\n")
-		case 3:
-			fmt.Fprintf(&b, "\ta = (a << %d) ^ (a >> %d);\n", rnd(5)+1, rnd(5)+1)
-			fmt.Fprintf(&b, "\ta += state[%d] & %d;\n", s2, c1*c2)
-		default:
-			fmt.Fprintf(&b, "\tint t = state[%d] - state[%d];\n", s2, s3)
-			fmt.Fprintf(&b, "\tif (t < 0) t = -t;\n\ta += t %% %d;\n", c1+3)
-		}
-		fmt.Fprintf(&b, "\tstate[%d] = a;\n\treturn a & 0xFFFF;\n}\n\n", s3)
-	}
-
-	// Group drivers: each phase touches its slice of the leaf functions.
-	per := p.funcs / p.groups
-	for g := 0; g < p.groups; g++ {
-		fmt.Fprintf(&b, "int group%d(int x) {\n\tint s = x;\n", g)
-		fmt.Fprintf(&b, "\tint r;\n\tfor (r = 0; r < %d; r++) {\n", p.reps)
-		for i := g * per; i < (g+1)*per; i++ {
-			fmt.Fprintf(&b, "\t\ts += fn%d(s);\n", i)
-		}
-		fmt.Fprintf(&b, "\t}\n\treturn s;\n}\n\n")
-	}
-
-	fmt.Fprintf(&b, "int main() {\n\tint i;\n\tfor (i = 0; i < 64; i++) state[i] = i * 37 + 11;\n\tacc = 1;\n")
-	fmt.Fprintf(&b, "\tint it;\n\tfor (it = 0; it < %d; it++) {\n", p.iters)
-	for g := 0; g < p.groups; g++ {
-		fmt.Fprintf(&b, "\t\tacc += group%d(acc + %d);\n", g, g)
-	}
-	fmt.Fprintf(&b, "\t\tacc = util_hash(acc) & 0xFFFFF;\n\t}\n")
-	b.WriteString("\tprint_str(\"acc=\");\n\tprint_int(acc);\n\tint chk = 0;\n\tfor (i = 0; i < 64; i++) chk ^= state[i];\n\tprint_str(\" chk=\");\n\tprint_int(chk);\n\tprint_char('\\n');\n\treturn 0;\n}\n")
-
 	return &Benchmark{
-		Name:       p.name,
-		Desc:       p.desc,
+		Name:       "ipl",
+		Desc:       "PostScript plotting package (generated large-program stand-in).",
 		MaxInstrs:  400_000_000,
 		CacheBench: true,
-		Source:     b.String(),
+		Source: synth.EmitPhased(synth.PhasedParams{
+			Name:   "ipl",
+			Funcs:  300,
+			Groups: 6,
+			Reps:   3,
+			Iters:  8,
+		}),
 	}
 }

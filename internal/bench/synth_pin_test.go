@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// The latex/ipl sources are generated, and the generator now lives in
+// internal/synth (shared with the random corpus). These pins freeze the
+// exact bytes the paper benchmarks are built from: any change to the
+// shared emitter or its RNG that would alter them — and thereby every
+// Section 4.1 cache figure — fails here instead of silently shifting
+// results.
+func TestSynthSourcesArePinned(t *testing.T) {
+	cases := []struct {
+		bench   *Benchmark
+		wantLen int
+		wantSum string
+	}{
+		{Latex(), 81580, "dd2c71e996fb614fa2cd416a7422cb7ecd6f82fca88537cbbc5b0fb08c7005aa"},
+		{IPL(), 51449, "6cfd8ae8f6936cf9feb9811f560bea927d319fe98d65e0db7e186c3637609423"},
+	}
+	for _, c := range cases {
+		if len(c.bench.Source) != c.wantLen {
+			t.Errorf("%s: generated source is %d bytes, pinned at %d",
+				c.bench.Name, len(c.bench.Source), c.wantLen)
+		}
+		sum := sha256.Sum256([]byte(c.bench.Source))
+		if got := hex.EncodeToString(sum[:]); got != c.wantSum {
+			t.Errorf("%s: generated source hash %s, pinned at %s",
+				c.bench.Name, got, c.wantSum)
+		}
+	}
+}

@@ -453,6 +453,21 @@ type AccountRun struct {
 // cache, keyed by the program image and the config set; cached
 // configurations build a fresh cache.System per engine from CacheBytes.
 func (l *Lab) Account(b *bench.Benchmark, spec *isa.Spec, cfgs []AccountConfig) (*AccountRun, error) {
+	t, err := l.AccountTicket(context.Background(), b, spec, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	v, err := t.Wait(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return v.(*AccountRun), nil
+}
+
+// AccountTicket submits the accounted run as a job and returns its
+// ticket without waiting — the fan-out form of Account, used by the
+// sweep engine for cached-memory grid cells.
+func (l *Lab) AccountTicket(ctx context.Context, b *bench.Benchmark, spec *isa.Spec, cfgs []AccountConfig) (*jobs.Ticket, error) {
 	c, err := l.Compile(b, spec)
 	if err != nil {
 		return nil, err
@@ -463,17 +478,13 @@ func (l *Lab) Account(b *bench.Benchmark, spec *isa.Spec, cfgs []AccountConfig) 
 			Int(int64(cfg.CacheBytes)).Int(cfg.MissPenalty)
 	}
 	hashImage(h, c.Image)
-	v, err := l.sched.Do(context.Background(), jobs.Job{
+	return l.sched.Submit(ctx, jobs.Job{
 		Name: "account-run " + key(b, spec),
 		Key:  h.Key(),
 		Fn: func(context.Context) (any, error) {
 			return l.runAccount(b, spec, c, cfgs)
 		},
 	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*AccountRun), nil
 }
 
 func (l *Lab) runAccount(b *bench.Benchmark, spec *isa.Spec, c *mcc.Compiled, cfgs []AccountConfig) (*AccountRun, error) {

@@ -67,7 +67,7 @@ var detPkgs = []string{
 	"internal/core", "internal/experiments", "internal/jobs",
 	"internal/isa", "internal/d16", "internal/dlxe", "internal/prog",
 	"internal/dis", "internal/bench", "internal/cache", "internal/memsys",
-	"internal/verify", "internal/store",
+	"internal/verify", "internal/store", "internal/synth", "internal/sweep",
 }
 
 // timeExemptPkgs are deterministic-output packages where wall-clock

@@ -1,0 +1,130 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mcc"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// CheckError describes why a generated program failed its gate, with
+// enough identity (class, seed, stage, config) to reproduce it from the
+// one-line repro the sweep driver prints.
+type CheckError struct {
+	Name   string // program name ("<class>-<seed:08x>")
+	Stage  string // "compile", "verify", "run" or "differential"
+	Config string // the configuration that failed (for differential: the mismatching side)
+	Base   string // differential only: the reference configuration
+	Detail string
+}
+
+func (e *CheckError) Error() string {
+	if e.Stage == "differential" {
+		return fmt.Sprintf("synth: %s: differential: %s output differs from %s: %s",
+			e.Name, e.Config, e.Base, e.Detail)
+	}
+	return fmt.Sprintf("synth: %s: %s on %s: %s", e.Name, e.Stage, e.Config, e.Detail)
+}
+
+// Check enforces the corpus properties on one program: it must compile
+// for every given configuration, every linked image must pass the
+// machine-code verifier, every execution must complete within the
+// instruction budget, and all configurations must print identical
+// output (the differential miscompile check, with the first
+// configuration as the reference). A nil return means the program is a
+// valid corpus member on all targets.
+func Check(p *Program, specs []*isa.Spec) error {
+	if len(specs) == 0 {
+		return fmt.Errorf("synth: check needs at least one target configuration")
+	}
+	var base string
+	for i, spec := range specs {
+		c, err := mcc.Compile(p.Name+".mc", p.Source, spec)
+		if err != nil {
+			return &CheckError{Name: p.Name, Stage: "compile", Config: spec.Name, Detail: err.Error()}
+		}
+		// mcc.Compile already gates on the verifier; re-assert the
+		// property explicitly so the corpus guarantee doesn't silently
+		// depend on that wiring.
+		if rep := verify.Image(c.Image, spec); !rep.OK() {
+			return &CheckError{Name: p.Name, Stage: "verify", Config: spec.Name, Detail: rep.Err().Error()}
+		}
+		m, err := sim.New(c.Image)
+		if err != nil {
+			return &CheckError{Name: p.Name, Stage: "run", Config: spec.Name, Detail: err.Error()}
+		}
+		if err := m.Run(p.MaxInstrs); err != nil {
+			return &CheckError{Name: p.Name, Stage: "run", Config: spec.Name, Detail: err.Error()}
+		}
+		out := m.Output.String()
+		if i == 0 {
+			base = out
+			continue
+		}
+		if out != base {
+			return &CheckError{Name: p.Name, Stage: "differential", Config: spec.Name,
+				Base: specs[0].Name, Detail: fmt.Sprintf("%q vs %q", clip(out), clip(base))}
+		}
+	}
+	return nil
+}
+
+func clip(s string) string {
+	if len(s) > 160 {
+		return s[:160] + "..."
+	}
+	return s
+}
+
+// Minimize shrinks a failing program while preserving its failure: it
+// rebuilds the generator's unit structure from (Class, Seed), greedily
+// disables units whose removal keeps Check failing, then halves the
+// driver iteration count while the failure persists. If the program
+// does not fail (or its class has no unit structure), the original is
+// returned unchanged. The result is always a valid generator emission,
+// so a minimized artifact still reproduces through the normal pipeline.
+func Minimize(p *Program, specs []*isa.Spec) *Program {
+	fails := func(src string) bool {
+		q := *p
+		q.Source = src
+		return Check(&q, specs) != nil
+	}
+	src := minimizeSource(p.Class, p.Seed, fails)
+	if src == "" {
+		return p
+	}
+	q := *p
+	q.Source = src
+	return &q
+}
+
+// minimizeSource is the testable core of Minimize: it takes the failure
+// predicate as a function so tests can minimize against synthetic
+// oracles without needing a real miscompile.
+func minimizeSource(class string, seed uint32, fails func(src string) bool) string {
+	g := build(class, seed)
+	if g == nil {
+		return ""
+	}
+	enabled := g.allEnabled()
+	if !fails(g.emit(enabled)) {
+		return ""
+	}
+	for i := range enabled {
+		enabled[i] = false
+		if !fails(g.emit(enabled)) {
+			enabled[i] = true
+		}
+	}
+	for g.iters > 1 {
+		prev := g.iters
+		g.iters /= 2
+		if !fails(g.emit(enabled)) {
+			g.iters = prev
+			break
+		}
+	}
+	return g.emit(enabled)
+}

@@ -1,0 +1,267 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The class builders below share a small random-expression generator.
+// Safety rules keep every emitted program well-defined under MC
+// semantics on all targets: constant shift counts stay in 1..8 (int is
+// 32-bit everywhere, shifts are masked to 5 bits anyway), divisors and
+// modulus operands are forced odd-or-positive nonzero with `(e & M) |
+// 1`, state[] indexing is always masked `& 63`, and every local is
+// initialized at declaration (the verifier's def-before-use check
+// rejects anything less).
+
+// exprGen builds random int-typed expressions over a fixed set of
+// in-scope variable names.
+type exprGen struct {
+	r    *RNG
+	vars []string
+}
+
+func (g *exprGen) v() string { return g.vars[g.r.Intn(len(g.vars))] }
+
+func (g *exprGen) atom() string {
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%d", g.r.Intn(512))
+	case 1:
+		return fmt.Sprintf("(-%d)", g.r.Intn(256))
+	case 2:
+		return fmt.Sprintf("state[(%s + %d) & 63]", g.v(), g.r.Intn(64))
+	default:
+		return g.v()
+	}
+}
+
+func (g *exprGen) expr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	a := g.expr(depth - 1)
+	b := g.expr(depth - 1)
+	switch g.r.Intn(12) {
+	case 0:
+		return "(" + a + " + " + b + ")"
+	case 1:
+		return "(" + a + " - " + b + ")"
+	case 2:
+		return "(" + a + " * " + b + ")"
+	case 3:
+		return "(" + a + " & " + b + ")"
+	case 4:
+		return "(" + a + " | " + b + ")"
+	case 5:
+		return "(" + a + " ^ " + b + ")"
+	case 6:
+		return fmt.Sprintf("(%s << %d)", a, g.r.Range(1, 4))
+	case 7:
+		return fmt.Sprintf("(%s >> %d)", a, g.r.Range(1, 8))
+	case 8:
+		return "(" + a + " / ((" + b + " & 255) | 1))"
+	case 9:
+		return "(" + a + " % ((" + b + " & 127) | 1))"
+	case 10:
+		return "(" + a + " < " + b + ")"
+	default:
+		return "mix(" + a + ", " + b + ")"
+	}
+}
+
+// stmt emits one random statement. Assignments target only the first
+// two names in vars (the builder guarantees those are assignable
+// locals); reads may use any in-scope name.
+func (g *exprGen) stmt(indent string) string {
+	v := g.vars[g.r.Intn(2)]
+	switch g.r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("%s%s = %s;\n", indent, v, g.expr(2))
+	case 1:
+		return fmt.Sprintf("%sif (%s < %s) %s += %s; else %s ^= %s;\n",
+			indent, g.expr(1), g.expr(1), v, g.expr(1), v, g.expr(1))
+	case 2:
+		return fmt.Sprintf("%sstate[(%s + %d) & 63] = %s;\n", indent, v, g.r.Intn(64), g.expr(1))
+	case 3:
+		return fmt.Sprintf("%s%s += state[(%s ^ %d) & 63];\n", indent, v, g.v(), g.r.Intn(64))
+	default:
+		return fmt.Sprintf("%s%s = clampi(%s, -%d, %d);\n",
+			indent, v, g.expr(2), 1000+g.r.Intn(100000), 1000+g.r.Intn(100000))
+	}
+}
+
+// buildLoopy emits loop-dominated functions: counted loops over mixed
+// integer work, with optional down-counting while loops — the shape
+// where interlocks and fetch bandwidth, not calls, dominate.
+func buildLoopy(r *RNG) *genProg {
+	g := &genProg{prelude: prelude(false), iters: r.Range(3, 6), initAcc: r.Intn(100000)}
+	n := r.Range(5, 10)
+	for u := 0; u < n; u++ {
+		var d strings.Builder
+		eg := &exprGen{r: r, vars: []string{"a", "b", "i"}}
+		fmt.Fprintf(&d, "int loop%d(int x, int y) {\n", u)
+		fmt.Fprintf(&d, "\tint a = x + %d;\n\tint b = y ^ %d;\n\tint i;\n", r.Intn(512), r.Intn(512))
+		fmt.Fprintf(&d, "\tfor (i = 0; i < %d; i++) {\n", r.Range(4, 16))
+		for s := r.Range(2, 4); s > 0; s-- {
+			d.WriteString(eg.stmt("\t\t"))
+		}
+		d.WriteString("\t}\n")
+		if r.Intn(2) == 0 {
+			fmt.Fprintf(&d, "\ti = %d;\n\twhile (i > 0) {\n\t\ta += mix(b, i);\n\t\ti = i - %d;\n\t}\n",
+				r.Range(6, 24), r.Range(1, 3))
+		}
+		fmt.Fprintf(&d, "\tstate[(a + %d) & 63] = b;\n\treturn a ^ b;\n}\n\n", r.Intn(64))
+		g.units = append(g.units, unit{
+			decls: d.String(),
+			call:  fmt.Sprintf("\t\tacc += loop%d(acc, it + %d);\n", u, r.Intn(128)),
+		})
+	}
+	return g
+}
+
+// buildCallHeavy emits clusters of tiny leaf functions behind a hub
+// that calls them in sequence — maximal call/return and argument
+// traffic per useful instruction (the paper's procedure-call overhead
+// axis).
+func buildCallHeavy(r *RNG) *genProg {
+	g := &genProg{prelude: prelude(false), iters: r.Range(3, 6), initAcc: r.Intn(100000)}
+	n := r.Range(6, 10)
+	for u := 0; u < n; u++ {
+		var d strings.Builder
+		leaves := r.Range(3, 6)
+		for l := 0; l < leaves; l++ {
+			eg := &exprGen{r: r, vars: []string{"x", "y"}}
+			fmt.Fprintf(&d, "int leaf%d_%d(int x, int y) {\n\treturn %s;\n}\n\n", u, l, eg.expr(2))
+		}
+		fmt.Fprintf(&d, "int hub%d(int x, int y) {\n\tint s = x;\n", u)
+		for l := 0; l < leaves; l++ {
+			op := []string{"+=", "^=", "-="}[r.Intn(3)]
+			fmt.Fprintf(&d, "\ts %s leaf%d_%d(s, y + %d);\n", op, u, l, r.Intn(256))
+		}
+		fmt.Fprintf(&d, "\tstate[(s + %d) & 63] = s ^ y;\n\treturn s;\n}\n\n", r.Intn(64))
+		g.units = append(g.units, unit{
+			decls: d.String(),
+			call:  fmt.Sprintf("\t\tacc += hub%d(acc, it);\n", u),
+		})
+	}
+	return g
+}
+
+// buildRecursive emits self-recursive functions — single recursion with
+// a data-dependent branch between the recursive calls, and fib-shaped
+// double recursion — all with an n-1/n-2 countdown that bounds depth by
+// construction. Deep stack traffic stresses the spill/reload and
+// call-sequence differences between the ISAs.
+func buildRecursive(r *RNG) *genProg {
+	g := &genProg{prelude: prelude(false), iters: r.Range(2, 4), initAcc: r.Intn(100000)}
+	n := r.Range(4, 7)
+	for u := 0; u < n; u++ {
+		var d strings.Builder
+		var depth int
+		if r.Intn(3) == 0 {
+			fmt.Fprintf(&d, "int rec%d(int n, int x) {\n\tif (n <= 1) return x + %d;\n\treturn rec%d(n - 1, x + %d) + rec%d(n - 2, x ^ %d);\n}\n\n",
+				u, r.Intn(64), u, r.Intn(32), u, r.Intn(512))
+			depth = r.Range(6, 12)
+		} else {
+			eg := &exprGen{r: r, vars: []string{"x", "n"}}
+			fmt.Fprintf(&d, "int rec%d(int n, int x) {\n\tif (n <= 0) return x;\n\tx = %s;\n\tif ((x & 1) == 0) return rec%d(n - 1, x + %d);\n\treturn rec%d(n - 1, x ^ %d) + n;\n}\n\n",
+				u, eg.expr(2), u, r.Intn(64), u, r.Intn(64))
+			depth = r.Range(8, 20)
+		}
+		g.units = append(g.units, unit{
+			decls: d.String(),
+			call:  fmt.Sprintf("\t\tacc += rec%d(%d, acc & 8191);\n", u, depth),
+		})
+	}
+	return g
+}
+
+// buildFP emits floating-point phases: double accumulators with float
+// mixed in, loop bodies of multiply-adds over exact binary fractions
+// (so magnitudes stay tame), folded back into the integer checksum via
+// a bounded conversion.
+func buildFP(r *RNG) *genProg {
+	g := &genProg{prelude: prelude(true), iters: r.Range(3, 5), initAcc: r.Intn(100000), fp: true}
+	n := r.Range(4, 8)
+	for u := 0; u < n; u++ {
+		var d strings.Builder
+		c1 := r.Pick("0.5", "0.25", "1.0625", "0.375", "1.125")
+		c2 := r.Pick("0.125", "0.0625", "0.75", "2.5")
+		fmt.Fprintf(&d, "double fp%d(double x, int k) {\n", u)
+		fmt.Fprintf(&d, "\tdouble s = x * %s + 1.0;\n\tfloat t = (float)k * %s;\n\tint i;\n", c1, c2)
+		fmt.Fprintf(&d, "\tfor (i = 0; i < %d; i++) {\n\t\ts = s * %s + (double)(i + %d) * %s;\n\t\tt = t + (float)i * %s;\n\t}\n",
+			r.Range(4, 12), c1, r.Intn(64), c2, c2)
+		d.WriteString("\tif (s > 1000000.0) s = s * 0.00048828125;\n")
+		d.WriteString("\tif (s < -1000000.0) s = s * 0.00048828125;\n")
+		d.WriteString("\treturn s + (double)t;\n}\n\n")
+		g.units = append(g.units, unit{
+			decls: d.String(),
+			call: fmt.Sprintf("\t\tfacc = facc * 0.5 + fp%d(facc, (acc & 255) + %d);\n\t\tacc ^= ((int)facc & 65535);\n",
+				u, r.Intn(64)),
+		})
+	}
+	return g
+}
+
+// buildArray emits per-unit global arrays walked with varied strides,
+// reverse walks and pointer bumps — data-side bus and displacement
+// traffic.
+func buildArray(r *RNG) *genProg {
+	g := &genProg{prelude: prelude(false), iters: r.Range(3, 5), initAcc: r.Intn(100000)}
+	n := r.Range(4, 8)
+	for u := 0; u < n; u++ {
+		var d strings.Builder
+		size := r.Range(48, 160)
+		fmt.Fprintf(&d, "int arr%d[%d];\n", u, size)
+		fmt.Fprintf(&d, "int awalk%d(int x) {\n\tint i;\n\tint s = 0;\n", u)
+		fmt.Fprintf(&d, "\tfor (i = 0; i < %d; i++) arr%d[i] = arr%d[i] + ((x + i) ^ %d);\n",
+			size, u, u, r.Intn(1024))
+		fmt.Fprintf(&d, "\tfor (i = 0; i < %d; i += %d) s += arr%d[i];\n", size, r.Range(2, 5), u)
+		if r.Intn(2) == 0 {
+			fmt.Fprintf(&d, "\tfor (i = %d; i >= 0; i--) s ^= arr%d[i] >> %d;\n", size-1, u, r.Range(1, 4))
+		}
+		if r.Intn(2) == 0 {
+			fmt.Fprintf(&d, "\tint *p = arr%d;\n\tfor (i = 0; i < %d; i++) { s += *p; p = p + 3; }\n",
+				u, size/3)
+		}
+		fmt.Fprintf(&d, "\tstate[(s + %d) & 63] = x;\n\treturn s;\n}\n\n", r.Intn(64))
+		g.units = append(g.units, unit{
+			decls: d.String(),
+			call:  fmt.Sprintf("\t\tacc ^= awalk%d(acc + it * %d);\n", u, r.Range(1, 9)),
+		})
+	}
+	return g
+}
+
+// buildPhased emits a small randomized version of the latex/ipl shape
+// (see EmitPhased): groups of leaf procedures iterated a few times,
+// each group an independently removable unit.
+func buildPhased(r *RNG) *genProg {
+	g := &genProg{prelude: prelude(false), iters: r.Range(2, 4), initAcc: r.Intn(100000)}
+	groups := r.Range(3, 6)
+	per := r.Range(4, 9)
+	fn := 0
+	for gi := 0; gi < groups; gi++ {
+		var d strings.Builder
+		start := fn
+		for j := 0; j < per; j++ {
+			eg := &exprGen{r: r, vars: []string{"a", "x"}}
+			fmt.Fprintf(&d, "int pfn%d(int x) {\n\tint a = state[%d] + x;\n", fn, r.Intn(64))
+			d.WriteString(eg.stmt("\t"))
+			d.WriteString(eg.stmt("\t"))
+			fmt.Fprintf(&d, "\tstate[%d] = a;\n\treturn a & 0xFFFF;\n}\n\n", r.Intn(64))
+			fn++
+		}
+		fmt.Fprintf(&d, "int pgroup%d(int x) {\n\tint s = x;\n\tint r;\n\tfor (r = 0; r < %d; r++) {\n", gi, r.Range(1, 2))
+		for j := start; j < fn; j++ {
+			fmt.Fprintf(&d, "\t\ts += pfn%d(s);\n", j)
+		}
+		d.WriteString("\t}\n\treturn s;\n}\n\n")
+		g.units = append(g.units, unit{
+			decls: d.String(),
+			call:  fmt.Sprintf("\t\tacc += pgroup%d(acc + %d);\n", gi, gi),
+		})
+	}
+	return g
+}

@@ -1,0 +1,54 @@
+package synth
+
+// RNG is the corpus generator's deterministic random source: the same
+// 32-bit linear congruential generator (Numerical Recipes constants)
+// the latex/ipl large-program benchmarks have always been emitted from,
+// extracted here so paper stand-ins and random corpus members draw from
+// one seeded, reproducible stream. math/rand is banned in packages with
+// byte-identical output (see internal/detlint); this is the sanctioned
+// replacement.
+type RNG struct {
+	state uint32
+}
+
+// NewRNG returns a generator seeded with s.
+func NewRNG(s uint32) *RNG { return &RNG{state: s} }
+
+// Intn returns a value in [0, n). n must be positive and well below
+// 2^24 (the generator exposes the top 24 bits of its state).
+func (r *RNG) Intn(n int) int {
+	r.state = r.state*1664525 + 1013904223
+	return int(r.state>>8) % n
+}
+
+// Range returns a value in [lo, hi] inclusive.
+func (r *RNG) Range(lo, hi int) int { return lo + r.Intn(hi-lo+1) }
+
+// Pick returns one of the given strings.
+func (r *RNG) Pick(opts ...string) string { return opts[r.Intn(len(opts))] }
+
+// DeriveSeed folds a sweep-level master seed, a workload class and a
+// program index into one per-program generator seed (FNV-1a over the
+// three fields), so every program of a sweep is independently
+// reproducible from its own 32-bit seed alone.
+func DeriveSeed(master uint64, class string, index int) uint32 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	step := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	for i := 0; i < 8; i++ {
+		step(byte(master >> (8 * i)))
+	}
+	for i := 0; i < len(class); i++ {
+		step(class[i])
+	}
+	for i := 0; i < 4; i++ {
+		step(byte(uint32(index) >> (8 * i)))
+	}
+	return uint32(h) ^ uint32(h>>32)
+}

@@ -1,0 +1,176 @@
+// Package synth is the verified synthetic-workload corpus: a seeded,
+// property-based MC program generator whose output is safe by
+// construction (every local initialized before use, shift counts
+// bounded, divisors forced nonzero, array indexing masked or bounded,
+// recursion depth capped) and whose programs are gated by three
+// properties — they compile for every ISA target, the linked image
+// passes the machine-code verifier, and all targets compute identical
+// observable output (the differential miscompile check).
+//
+// The generator is deterministic: (class, seed) fully determines the
+// emitted source, so any corpus member can be regenerated from the
+// one-line repro the sweep driver prints on failure. Programs are built
+// from independently removable "units" (a slice of function definitions
+// plus the driver statement that invokes them), which is what makes
+// Minimize possible: greedily disable units while the failure persists.
+//
+// docs/SWEEP.md documents the corpus classes and the guarantees.
+package synth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultMaxInstrs bounds one generated program's execution: a runaway
+// guard far above the tens-of-thousands of dynamic instructions a
+// corpus member actually executes.
+const DefaultMaxInstrs = 50_000_000
+
+// Program is one generated corpus member.
+type Program struct {
+	Class     string // workload class (one of Classes)
+	Seed      uint32 // generator seed: (Class, Seed) determine Source
+	Name      string // "<class>-<seed:08x>"
+	Source    string // MC source text
+	MaxInstrs int64  // execution budget for the checks
+}
+
+// Classes returns the workload classes the generator emits, in
+// canonical order. Each stresses a different axis of the density /
+// path-length trade-off: loop-dominated straight code, call-graph
+// churn, recursion (deep stack traffic), floating-point phases, array
+// and pointer churn, and the phase-structured shape of the latex/ipl
+// paper stand-ins.
+func Classes() []string {
+	return []string{"loopy", "callheavy", "recursive", "fp", "array", "phased"}
+}
+
+// Generate emits one program of the given class from the given seed.
+// It fails only for an unknown class.
+func Generate(class string, seed uint32) (*Program, error) {
+	g := build(class, seed)
+	if g == nil {
+		return nil, fmt.Errorf("synth: unknown class %q (valid: %s)",
+			class, strings.Join(Classes(), ", "))
+	}
+	return &Program{
+		Class:     class,
+		Seed:      seed,
+		Name:      fmt.Sprintf("%s-%08x", class, seed),
+		Source:    g.emit(g.allEnabled()),
+		MaxInstrs: DefaultMaxInstrs,
+	}, nil
+}
+
+// unit is one independently removable slice of a generated program: the
+// function (and array) definitions it contributes, and the driver
+// statement(s) that invoke them. Units are self-contained — a unit's
+// driver line only calls its own functions and the always-present
+// prelude — so any subset of units still compiles and runs, which is
+// the property minimization relies on.
+type unit struct {
+	decls string
+	call  string
+}
+
+// genProg is a generated program before rendering: prelude + units +
+// driver shape. Minimize re-builds it from (class, seed) and re-emits
+// with units disabled.
+type genProg struct {
+	prelude string
+	units   []unit
+	iters   int // driver outer-loop count
+	initAcc int
+	fp      bool // program accumulates a double checksum too
+}
+
+func (g *genProg) allEnabled() []bool {
+	e := make([]bool, len(g.units))
+	for i := range e {
+		e[i] = true
+	}
+	return e
+}
+
+// emit renders the program with the given unit subset enabled. The
+// driver initializes all global state, iterates the enabled unit calls,
+// and prints integer (and for FP classes, double) checksums — the
+// observable output the differential check compares across ISAs.
+func (g *genProg) emit(enabled []bool) string {
+	var b strings.Builder
+	b.WriteString(g.prelude)
+	for i, u := range g.units {
+		if enabled[i] {
+			b.WriteString(u.decls)
+		}
+	}
+	b.WriteString("int main() {\n\tint i;\n\tfor (i = 0; i < 64; i++) state[i] = i * 37 + 11;\n")
+	fmt.Fprintf(&b, "\tacc = %d;\n", g.initAcc)
+	if g.fp {
+		b.WriteString("\tfacc = 1.5;\n")
+	}
+	b.WriteString("\tint it;\n")
+	fmt.Fprintf(&b, "\tfor (it = 0; it < %d; it++) {\n", g.iters)
+	for i, u := range g.units {
+		if enabled[i] {
+			b.WriteString(u.call)
+		}
+	}
+	b.WriteString("\t}\n")
+	b.WriteString("\tprint_str(\"acc=\");\n\tprint_int(acc);\n")
+	b.WriteString("\tint chk = 0;\n\tfor (i = 0; i < 64; i++) chk ^= state[i];\n")
+	b.WriteString("\tprint_str(\" chk=\");\n\tprint_int(chk);\n")
+	if g.fp {
+		b.WriteString("\tprint_str(\" f=\");\n\tprint_double(facc);\n")
+	}
+	b.WriteString("\tprint_char('\\n');\n\treturn 0;\n}\n")
+	return b.String()
+}
+
+// prelude is the always-present global state and utility routines every
+// unit may call (a stand-in for a real program's hot runtime core).
+func prelude(fp bool) string {
+	var b strings.Builder
+	b.WriteString("int state[64];\nint acc;\n")
+	if fp {
+		b.WriteString("double facc;\n")
+	}
+	b.WriteString(`
+int mix(int x, int y) {
+	x = x ^ (y << 3);
+	x = x + (x << 5) + y;
+	return x ^ (x >> 7);
+}
+
+int clampi(int x, int lo, int hi) {
+	if (x < lo) return lo;
+	if (x > hi) return hi;
+	return x;
+}
+
+`)
+	return b.String()
+}
+
+// build constructs the generator program for (class, seed); nil for an
+// unknown class. The seed is whitened so seed 0 still produces a varied
+// program.
+func build(class string, seed uint32) *genProg {
+	r := NewRNG(seed ^ 0x5bd1e995)
+	switch class {
+	case "loopy":
+		return buildLoopy(r)
+	case "callheavy":
+		return buildCallHeavy(r)
+	case "recursive":
+		return buildRecursive(r)
+	case "fp":
+		return buildFP(r)
+	case "array":
+		return buildArray(r)
+	case "phased":
+		return buildPhased(r)
+	}
+	return nil
+}

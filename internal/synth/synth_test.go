@@ -1,0 +1,123 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// Every class, over a spread of seeds, must satisfy the corpus
+// properties on all five paper configurations: compile, verify, run,
+// and identical output across ISAs. This is the unit-sized version of
+// the standing miscompile fuzzer (FuzzDifferential in internal/mcc
+// keeps digging beyond these seeds).
+func TestGeneratedProgramsPassCheckOnAllConfigs(t *testing.T) {
+	seeds := []uint32{0, 1, 0xdeadbeef, 12345}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	specs := isa.PaperConfigs()
+	for _, class := range Classes() {
+		for _, seed := range seeds {
+			p, err := Generate(class, seed)
+			if err != nil {
+				t.Fatalf("Generate(%s, %d): %v", class, seed, err)
+			}
+			if err := Check(p, specs); err != nil {
+				t.Errorf("%s: %v", p.Name, err)
+			}
+		}
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	for _, class := range Classes() {
+		a, err := Generate(class, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := Generate(class, 42)
+		if a.Source != b.Source {
+			t.Errorf("%s: same (class, seed) produced different source", class)
+		}
+		c, _ := Generate(class, 43)
+		if a.Source == c.Source {
+			t.Errorf("%s: different seeds produced identical source", class)
+		}
+	}
+}
+
+func TestGenerateUnknownClass(t *testing.T) {
+	if _, err := Generate("nosuch", 1); err == nil {
+		t.Fatal("expected an error for an unknown class")
+	}
+}
+
+func TestDeriveSeedSpreads(t *testing.T) {
+	seen := map[uint32]bool{}
+	for _, class := range Classes() {
+		for i := 0; i < 64; i++ {
+			s := DeriveSeed(7, class, i)
+			if seen[s] {
+				t.Fatalf("seed collision at (%s, %d)", class, i)
+			}
+			seen[s] = true
+		}
+	}
+	if DeriveSeed(7, "loopy", 0) == DeriveSeed(8, "loopy", 0) {
+		t.Error("master seed does not influence derived seed")
+	}
+}
+
+// Minimization against a synthetic oracle: a "failure" that only needs
+// one specific unit must shrink to a program containing that unit's
+// function and not (most of) the others.
+func TestMinimizeSourceShrinks(t *testing.T) {
+	g := build("callheavy", 99)
+	if g == nil || len(g.units) < 3 {
+		t.Fatal("expected a multi-unit callheavy program")
+	}
+	full := g.emit(g.allEnabled())
+	// The oracle: failing means "still calls hub1".
+	fails := func(src string) bool { return strings.Contains(src, "hub1(") }
+	min := minimizeSource("callheavy", 99, fails)
+	if min == "" {
+		t.Fatal("minimizeSource returned nothing for a failing program")
+	}
+	if !strings.Contains(min, "hub1(") {
+		t.Fatal("minimized program lost the failing unit")
+	}
+	if strings.Contains(min, "hub2(") || strings.Contains(min, "hub0(") {
+		t.Error("minimized program kept units the failure does not need")
+	}
+	if len(min) >= len(full) {
+		t.Errorf("minimized program (%d bytes) is not smaller than the original (%d bytes)", len(min), len(full))
+	}
+}
+
+// A program that does not fail at all must come back unchanged.
+func TestMinimizeNonFailingProgram(t *testing.T) {
+	p, err := Generate("loopy", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Minimize(p, isa.PaperConfigs())
+	if q.Source != p.Source {
+		t.Error("Minimize altered a program that passes Check")
+	}
+}
+
+func TestRNGMatchesReferenceLCG(t *testing.T) {
+	// The extracted RNG must implement exactly the historical bench
+	// generator: state = state*1664525 + 1013904223, top-24-bits mod n.
+	r := NewRNG(77)
+	s := uint32(77)
+	for i := 0; i < 100; i++ {
+		s = s*1664525 + 1013904223
+		want := int(s>>8) % 64
+		if got := r.Intn(64); got != want {
+			t.Fatalf("draw %d: got %d, want %d", i, got, want)
+		}
+	}
+}
