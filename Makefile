@@ -6,9 +6,9 @@
 TMP := /tmp/repro-make
 BIN := $(TMP)/bin
 
-.PHONY: check build test vet lint verify fuzz-short smoke store-smoke determinism explain-smoke sweep-smoke serve-smoke bench clean
+.PHONY: check build test vet lint verify fuzz-short smoke store-smoke determinism explain-smoke sweep-smoke serve-smoke static-smoke bench clean
 
-check: vet lint build test fuzz-short verify smoke store-smoke determinism explain-smoke sweep-smoke serve-smoke
+check: vet lint build test fuzz-short verify smoke store-smoke determinism explain-smoke sweep-smoke serve-smoke static-smoke
 
 vet:
 	go vet ./...
@@ -36,6 +36,7 @@ verify: $(BIN)/repro
 fuzz-short:
 	go test ./internal/verify/ -fuzz FuzzVerify -fuzztime 10s -run '^$$'
 	go test ./internal/mcc/ -fuzz FuzzDifferential -fuzztime 10s -run '^$$'
+	go test ./internal/static/ -fuzz FuzzContainment -fuzztime 10s -run '^$$'
 
 build:
 	go build ./...
@@ -114,6 +115,19 @@ sweep-smoke: $(BIN)/repro
 	cmp $(TMP)/sweep-a.mcst $(TMP)/sweep-b.mcst
 	$(BIN)/repro -query 'by=cycles top=3' -store $(TMP)/sweep-a.mcst | grep -q '"matched"'
 	@echo "sweep smoke ok: corpus verified, surface byte-identical across -jobs 8"
+
+# Static-analyzer smoke: the zero-simulation cost/density sweep over
+# all 90 images must exit clean and write a byte-identical static.json
+# across repeated runs and under the parallel pool (docs/STATIC.md).
+static-smoke: $(BIN)/repro
+	$(BIN)/repro -static -json $(TMP)/static-a > $(TMP)/static-a.out
+	$(BIN)/repro -static -json $(TMP)/static-b > $(TMP)/static-b.out
+	$(BIN)/repro -static -json $(TMP)/static-j8 -jobs 8 > $(TMP)/static-j8.out
+	cmp $(TMP)/static-a.out $(TMP)/static-b.out
+	cmp $(TMP)/static-a.out $(TMP)/static-j8.out
+	cmp $(TMP)/static-a/static.json $(TMP)/static-b/static.json
+	cmp $(TMP)/static-a/static.json $(TMP)/static-j8/static.json
+	@echo "static smoke ok: bounds/density byte-identical across runs and -jobs 8"
 
 # Service smoke: boot simd, hit /healthz, run the same one-point batch
 # twice (the repeat must be served from the result cache with an

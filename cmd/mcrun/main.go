@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mcrun [-target d16|dlxe] [-regs N] [-2addr] [-bench name] [-dumpasm] [-verify] [file.mc]
+//	mcrun [-target d16|dlxe] [-regs N] [-2addr] [-bench name] [-dumpasm] [-verify] [-static] [file.mc]
 //
 // Exit codes: 0 success; 1 compile/runtime failure; 2 bad usage or an
 // unknown target/benchmark name; 3 the program compiled but its image
@@ -50,6 +50,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/prog"
 	"repro/internal/sim"
+	"repro/internal/static"
 	"repro/internal/telemetry"
 	"repro/internal/verify"
 )
@@ -67,6 +68,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print pipeline stage timings (compile/assemble/link/run)")
 	maxInstrs := flag.Int64("max", 2_000_000_000, "instruction budget")
 	verifyMode := flag.Bool("verify", false, "statically verify the compiled image, print the report, and exit without running")
+	staticMode := flag.Bool("static", false, "print the static cost/density analysis (cycle bounds, loop bounds, fetch traffic) and exit without running")
 	account := flag.Bool("account", false, "attach the cycle-level engine and print a cycle attribution breakdown")
 	pipeTrace := flag.String("pipetrace", "", "write a Chrome trace of pipeline stage occupancy to this file (implies the cycle engine)")
 	pipeDepth := flag.Int("pipetrace-depth", 1<<20, "flight-recorder depth for -pipetrace (events kept; <=0 records the full run)")
@@ -150,6 +152,20 @@ func main() {
 		// The compile gate already proved the image clean; re-run the
 		// verifier to print the full report.
 		verify.Image(c.Image, spec).WriteTable(os.Stdout)
+		return
+	}
+	if *staticMode {
+		rep, aerr := static.Analyze(c.Image, spec)
+		if aerr != nil {
+			fmt.Fprintln(os.Stderr, aerr)
+			var verr *verify.Error
+			if errors.As(aerr, &verr) {
+				verr.Report.WriteTable(os.Stderr)
+				os.Exit(3)
+			}
+			os.Exit(1)
+		}
+		rep.WriteTable(os.Stdout)
 		return
 	}
 	m, err := sim.New(c.Image)

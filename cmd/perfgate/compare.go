@@ -22,9 +22,9 @@ type Report struct {
 
 // Result is one benchmark's metrics. NsPerOp and AllocsPerOp are
 // higher-is-worse; InstrsPerSec (simulator throughput), PointsPerSec
-// (measurement-store and sweep-surface throughput) and ProgramsPerSec
-// (synthetic-corpus generation throughput) are lower-is-worse and zero
-// when not applicable.
+// (measurement-store and sweep-surface throughput), ProgramsPerSec
+// (synthetic-corpus generation throughput) and ImagesPerSec (static
+// analyzer throughput) are lower-is-worse and zero when not applicable.
 type Result struct {
 	Name           string  `json:"name"`
 	NsPerOp        float64 `json:"ns_per_op"`
@@ -33,6 +33,7 @@ type Result struct {
 	InstrsPerSec   float64 `json:"instrs_per_sec,omitempty"`
 	PointsPerSec   float64 `json:"points_per_sec,omitempty"`
 	ProgramsPerSec float64 `json:"programs_per_sec,omitempty"`
+	ImagesPerSec   float64 `json:"images_per_sec,omitempty"`
 	// GateThreshold, when positive, overrides the run-wide -threshold
 	// for this benchmark — used by overhead gates (pipe/throughput's 2%)
 	// that must be tighter than the general noise allowance.
@@ -75,6 +76,7 @@ func Compare(old, cur *Report, threshold float64) []Delta {
 		out = append(out, compareMetric(r.Name, "instrs_per_sec", p.InstrsPerSec, r.InstrsPerSec, true, th)...)
 		out = append(out, compareMetric(r.Name, "points_per_sec", p.PointsPerSec, r.PointsPerSec, true, th)...)
 		out = append(out, compareMetric(r.Name, "programs_per_sec", p.ProgramsPerSec, r.ProgramsPerSec, true, th)...)
+		out = append(out, compareMetric(r.Name, "images_per_sec", p.ImagesPerSec, r.ImagesPerSec, true, th)...)
 	}
 	return out
 }

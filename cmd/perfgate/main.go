@@ -150,6 +150,13 @@ func main() {
 		}
 		cur.Benchmarks = append(cur.Benchmarks, r)
 	}
+	if sel.MatchString("static/throughput") {
+		r, err := benchStaticThroughput()
+		if err != nil {
+			fatal(err)
+		}
+		cur.Benchmarks = append(cur.Benchmarks, r)
+	}
 	if len(cur.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmarks match -bench %q", *pattern))
 	}

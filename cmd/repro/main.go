@@ -17,6 +17,14 @@
 //	                                # per-benchmark violation table, writes
 //	                                # verify.json with -json, exits 3 if any
 //	                                # image has violations (see docs/VERIFY.md)
+//	repro -static                   # static cost/density analysis of every
+//	                                # seed benchmark on every configuration,
+//	                                # zero simulation: code density + ifetch
+//	                                # traffic tables (the paper's ~1.5-1.6x
+//	                                # density ratio), loop bounds, and sound
+//	                                # whole-image cycle intervals; writes
+//	                                # static.json with -json, exits 3 if any
+//	                                # image fails (see docs/STATIC.md)
 //	repro -account                  # cycle-accounting report: per-benchmark
 //	                                # bucket breakdowns (D16/DLXe, cacheless
 //	                                # and cached) plus the per-function
@@ -86,6 +94,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write pipeline spans as Chrome trace-event JSON to this file")
 	account := flag.Bool("account", false, "run the cycle-accounting report (bucket breakdowns + differential D16/DLXe per-function report) instead of experiments")
 	verifyMode := flag.Bool("verify", false, "statically verify every seed benchmark on every paper configuration and print per-benchmark violation tables (exit 3 on any violation)")
+	staticMode := flag.Bool("static", false, "run the static cost/density analyzer on every seed benchmark x paper configuration (no simulation): density + ifetch tables, cycle-bound summaries; writes static.json with -json (exit 3 on any failed image)")
 	listen := flag.String("listen", "", "serve /debug/pprof and /metrics on this address for the duration of the run")
 	timing := flag.Bool("timing", true, "stamp elapsed wall-clock seconds into per-experiment JSON (disable for byte-identical reruns)")
 	jobsN := flag.Int("jobs", 1, "simulation workers; >1 runs experiments concurrently through the job scheduler, with output assembled in deterministic submission order")
@@ -123,6 +132,19 @@ func main() {
 			}
 		}
 		if dirty := runVerify(*jsonDir); dirty > 0 {
+			os.Exit(3)
+		}
+		return
+	}
+
+	if *staticMode {
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if dirty := runStatic(*jsonDir, *jobsN); dirty > 0 {
 			os.Exit(3)
 		}
 		return

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/mcc"
+	"repro/internal/static"
+	"repro/internal/telemetry"
+)
+
+// staticEntry is one benchmark×config analysis for the static.json
+// export. Error is set when the image failed compilation or static
+// verification — the analyzer never reports on a dirty image.
+type staticEntry struct {
+	Bench  string         `json:"bench"`
+	Config string         `json:"config"`
+	Error  string         `json:"error,omitempty"`
+	Report *static.Report `json:"report,omitempty"`
+}
+
+// runStatic analyzes every seed benchmark on every paper configuration
+// with the static cost/density analyzer — no simulation — and prints
+// the paper's density story plus cycle-bound summaries. With a -json
+// directory it writes the full reports to static.json. Output is
+// deterministic and independent of the worker count: analyses run
+// concurrently, results assemble in task order. It returns the number
+// of images that could not be analyzed; main exits 3 when nonzero.
+func runStatic(jsonDir string, jobs int) int {
+	specs := append(isa.PaperConfigs(), isa.D16Plus())
+	benches := bench.All()
+	entries := make([]staticEntry, len(benches)*len(specs))
+
+	if jobs < 1 {
+		jobs = 1
+	}
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for bi, b := range benches {
+		for si, spec := range specs {
+			i, b, spec := bi*len(specs)+si, b, spec
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer func() { <-sem; wg.Done() }()
+				e := staticEntry{Bench: b.Name, Config: spec.Name}
+				c, err := mcc.Compile(b.Name+".mc", b.Source, spec)
+				if err == nil {
+					e.Report, err = static.Analyze(c.Image, spec)
+				}
+				if err != nil {
+					e.Error = err.Error()
+				}
+				entries[i] = e
+			}()
+		}
+	}
+	wg.Wait()
+
+	find := func(b, cfg string) *static.Report {
+		for _, e := range entries {
+			if e.Bench == b && e.Config == cfg {
+				return e.Report
+			}
+		}
+		return nil
+	}
+	d16, dlxe := isa.D16().Name, isa.DLXe().Name
+
+	fmt.Printf("static analysis v%d: %d benchmarks x %d configs, zero simulation\n\n",
+		static.Version, len(benches), len(specs))
+	fmt.Printf("code density and fetch traffic, D16 vs DLXe (text bytes; ifetch = bus words on the 16-bit bus):\n")
+	fmt.Printf("%-12s %9s %9s %6s %9s %9s %6s\n",
+		"program", "d16-text", "dlxe-text", "ratio", "d16-ifw", "dlxe-ifw", "ratio")
+	logSum, n := 0.0, 0
+	for _, b := range benches {
+		r16, r32 := find(b.Name, d16), find(b.Name, dlxe)
+		if r16 == nil || r32 == nil {
+			continue
+		}
+		ratio := float64(r32.Image.TextBytes) / float64(r16.Image.TextBytes)
+		fw16, fw32 := r16.Image.FetchWords[0].Words, r32.Image.FetchWords[0].Words
+		fmt.Printf("%-12s %9d %9d %6.2f %9d %9d %6.2f\n",
+			b.Name, r16.Image.TextBytes, r32.Image.TextBytes, ratio,
+			fw16, fw32, float64(fw32)/float64(fw16))
+		logSum += math.Log(ratio)
+		n++
+	}
+	if n > 0 {
+		fmt.Printf("%-12s %9s %9s %6.2f   (paper: ~1.5-1.6x)\n\n",
+			"GEOMEAN", "", "", math.Exp(logSum/float64(n)))
+	}
+
+	fmt.Printf("static cycle bounds at bus=4B w=1 (entry to halt; max \"-\" = unbounded):\n")
+	fmt.Printf("%-12s %22s %22s %10s %8s\n", "program", "d16 [min, max]", "dlxe [min, max]", "mininstrs", "diags")
+	for _, b := range benches {
+		r16, r32 := find(b.Name, d16), find(b.Name, dlxe)
+		if r16 == nil || r32 == nil {
+			continue
+		}
+		fmt.Printf("%-12s %22s %22s %10d %8d\n", b.Name,
+			boundCell(r16), boundCell(r32), r16.Image.MinInstrs, len(r16.Diags)+len(r32.Diags))
+	}
+
+	dirty := 0
+	for _, e := range entries {
+		if e.Error != "" {
+			fmt.Fprintf(os.Stderr, "%s on %s: %s\n", e.Bench, e.Config, e.Error)
+			dirty++
+		}
+	}
+	if dirty == 0 {
+		fmt.Printf("\nall %d images analyzed\n", len(entries))
+	} else {
+		fmt.Printf("\n%d image(s) failed analysis\n", dirty)
+	}
+
+	if jsonDir != "" {
+		path := filepath.Join(jsonDir, "static.json")
+		err := telemetry.WriteJSONFile(path, struct {
+			Version int           `json:"version"`
+			Entries []staticEntry `json:"entries"`
+		}{static.Version, entries})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	return dirty
+}
+
+// boundCell formats one image's [min, max] interval at bus=4, w=1.
+func boundCell(r *static.Report) string {
+	row, ok := r.BoundAt(4, 1)
+	if !ok {
+		return "-"
+	}
+	if row.MaxCycles < 0 {
+		return fmt.Sprintf("[%d, -]", row.MinCycles)
+	}
+	return fmt.Sprintf("[%d, %d]", row.MinCycles, row.MaxCycles)
+}

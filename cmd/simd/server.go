@@ -125,6 +125,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/diff", s.handleDiff)
 	mux.HandleFunc("/v1/explain", s.handleExplain)
+	mux.HandleFunc("/v1/static", s.handleStatic)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

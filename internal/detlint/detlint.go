@@ -12,7 +12,11 @@
 //   - timenow:   no time.Now/time.Since in those packages outside
 //     telemetry instrumentation;
 //   - mathrand:  no math/rand at all in those packages (unseeded global
-//     state; seeded determinism is still a trap under parallelism).
+//     state; seeded determinism is still a trap under parallelism);
+//   - sortslice: no sort.Slice whose comparator is a single projected
+//     key — distinct elements with equal keys keep no stable order, so
+//     the sorted bytes vary run to run; use sort.SliceStable or add a
+//     tiebreak.
 //
 // A finding is suppressed by an escape hatch on the same or preceding
 // line naming the check and a reason:
@@ -50,10 +54,11 @@ func (f Finding) String() string {
 
 // Check identifiers.
 const (
-	CheckRangeMap = "rangemap"
-	CheckMapsKeys = "mapskeys"
-	CheckTimeNow  = "timenow"
-	CheckMathRand = "mathrand"
+	CheckRangeMap  = "rangemap"
+	CheckMapsKeys  = "mapskeys"
+	CheckTimeNow   = "timenow"
+	CheckMathRand  = "mathrand"
+	CheckSortSlice = "sortslice"
 )
 
 // detPkgs lists the import-path suffixes of packages whose output must
@@ -68,6 +73,7 @@ var detPkgs = []string{
 	"internal/isa", "internal/d16", "internal/dlxe", "internal/prog",
 	"internal/dis", "internal/bench", "internal/cache", "internal/memsys",
 	"internal/verify", "internal/store", "internal/synth", "internal/sweep",
+	"internal/static",
 }
 
 // timeExemptPkgs are deterministic-output packages where wall-clock
@@ -89,7 +95,7 @@ func ChecksFor(pkgPath string) map[string]bool {
 	if !hasSuffixPkg(pkgPath, detPkgs) {
 		return nil
 	}
-	cs := map[string]bool{CheckRangeMap: true, CheckMapsKeys: true, CheckMathRand: true}
+	cs := map[string]bool{CheckRangeMap: true, CheckMapsKeys: true, CheckMathRand: true, CheckSortSlice: true}
 	if !hasSuffixPkg(pkgPath, timeExemptPkgs) {
 		cs[CheckTimeNow] = true
 	}
@@ -284,10 +290,64 @@ func lintFile(fset *token.FileSet, f *ast.File, info *types.Info, checks map[str
 				report(n.Pos(), CheckTimeNow,
 					"wall-clock read in a deterministic-output package (keep timing in telemetry)")
 			}
+			if checks[CheckSortSlice] && isPkgCall(n.Fun, "sort", "Slice") && len(n.Args) == 2 {
+				if lit, ok := n.Args[1].(*ast.FuncLit); ok && singleKeyComparator(lit) {
+					report(n.Pos(), CheckSortSlice,
+						"sort.Slice on a single projected key in a deterministic-output package (equal keys keep no stable order; use sort.SliceStable or add a tiebreak)")
+				}
+			}
 		}
 		return true
 	})
 	return out
+}
+
+// singleKeyComparator reports whether a sort.Slice comparator is a
+// single `return a < b`-style comparison of one key projected off each
+// indexed element — the shape where equal keys on distinct elements
+// leave the final order up to the (unstable) sort. Anything it cannot
+// see through is exempt: multi-statement bodies carry their own
+// tiebreaks, a lone call delegates to a comparator this pass cannot
+// inspect, and direct element compares (`s[i] < s[j]`) only tie when
+// the elements are identical, where order is unobservable.
+func singleKeyComparator(lit *ast.FuncLit) bool {
+	if len(lit.Body.List) != 1 {
+		return false
+	}
+	ret, ok := lit.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	cmp, ok := ret.Results[0].(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	return projectsKey(cmp.X) && projectsKey(cmp.Y)
+}
+
+// projectsKey reports whether e selects a field off an indexed element
+// (`s[i].F`, possibly through nested selectors).
+func projectsKey(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x := sel.X
+	for {
+		switch v := x.(type) {
+		case *ast.SelectorExpr:
+			x = v.X
+		case *ast.IndexExpr:
+			return true
+		default:
+			return false
+		}
+	}
 }
 
 // feedsSorted reports whether call is the direct argument of a

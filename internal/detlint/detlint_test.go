@@ -34,10 +34,11 @@ func TestBadFixtureFlagged(t *testing.T) {
 		check string
 		line  int
 	}{
-		{CheckMathRand, 8},  // math/rand import
-		{CheckRangeMap, 17}, // for name := range regs
-		{CheckMapsKeys, 25}, // slices.Collect(maps.Keys(m))
-		{CheckTimeNow, 29},  // time.Now()
+		{CheckMathRand, 8},   // math/rand import
+		{CheckRangeMap, 18},  // for name := range regs
+		{CheckMapsKeys, 26},  // slices.Collect(maps.Keys(m))
+		{CheckTimeNow, 30},   // time.Now()
+		{CheckSortSlice, 44}, // sort.Slice on rows[i].Cycles alone
 	}
 	for _, w := range want {
 		if !hasFinding(fs, w.check, "bad.go", w.line) {
@@ -71,10 +72,10 @@ func TestOutOfScopeUnflagged(t *testing.T) {
 // allowed wall-clock reads (scheduler timeouts).
 func TestJobsTimeExempt(t *testing.T) {
 	fs := lintFixture(t, "badcodegen", "repro/internal/jobs")
-	if hasFinding(fs, CheckTimeNow, "bad.go", 29) {
+	if hasFinding(fs, CheckTimeNow, "bad.go", 30) {
 		t.Errorf("timenow flagged in time-exempt package: %v", fs)
 	}
-	if !hasFinding(fs, CheckRangeMap, "bad.go", 17) {
+	if !hasFinding(fs, CheckRangeMap, "bad.go", 18) {
 		t.Errorf("rangemap not flagged in time-exempt package: %v", fs)
 	}
 }
@@ -84,7 +85,7 @@ func TestChecksFor(t *testing.T) {
 		t.Errorf("telemetry should be unscoped, got %v", cs)
 	}
 	cs := ChecksFor("repro/internal/mcc")
-	for _, c := range []string{CheckRangeMap, CheckMapsKeys, CheckMathRand, CheckTimeNow} {
+	for _, c := range []string{CheckRangeMap, CheckMapsKeys, CheckMathRand, CheckTimeNow, CheckSortSlice} {
 		if !cs[c] {
 			t.Errorf("mcc missing check %s", c)
 		}

@@ -7,6 +7,7 @@ import (
 	"maps"
 	"math/rand"
 	"slices"
+	"sort"
 	"time"
 )
 
@@ -30,3 +31,15 @@ func Stamp() int64 { return time.Now().UnixNano() }
 
 // Jitter pulls from the global math/rand state.
 func Jitter() int { return rand.Intn(8) }
+
+// Row is sort fodder for Rank.
+type Row struct {
+	Name   string
+	Cycles int
+}
+
+// Rank sorts on a single projected key with the unstable sort: distinct
+// rows with equal Cycles keep no fixed order.
+func Rank(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Cycles < rows[j].Cycles })
+}

@@ -6,6 +6,7 @@ package cleancodegen
 import (
 	"maps"
 	"slices"
+	"sort"
 )
 
 // Sorted uses the sanctioned maps.Keys → slices.Sorted pipeline.
@@ -29,4 +30,44 @@ func CollectSort(m map[string]int) []string {
 	}
 	slices.Sort(keys)
 	return keys
+}
+
+// Row is sort fodder for the comparator shapes below.
+type Row struct {
+	Name   string
+	Cycles int
+}
+
+// StableRank uses the stable sort: equal keys keep insertion order.
+func StableRank(rows []Row) {
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Cycles < rows[j].Cycles })
+}
+
+// TiebreakRank breaks key ties on a second field.
+func TiebreakRank(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Cycles != rows[j].Cycles {
+			return rows[i].Cycles < rows[j].Cycles
+		}
+		return rows[i].Name < rows[j].Name
+	})
+}
+
+// DirectSort compares whole elements: ties mean identical values, so
+// their relative order is unobservable.
+func DirectSort(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// DelegatedSort hands comparison to a named function; the pass cannot
+// see inside it and stays silent.
+func DelegatedSort(rows []Row, less func(a, b *Row) bool) {
+	sort.Slice(rows, func(i, j int) bool { return less(&rows[i], &rows[j]) })
+}
+
+// UniqueKeyRank sorts on a key the caller guarantees distinct, with the
+// escape hatch naming the check and reason.
+func UniqueKeyRank(rows []Row) {
+	//detlint:ignore sortslice names are unique per table
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 }

@@ -218,25 +218,15 @@ func (e *Engine) Exec(pc uint32, in isa.Instr) {
 	e.clock = issue
 	e.charge(pc, BUseful, 1, StageEX, issue)
 
-	// Result latency.
-	lat := int64(sim.LatNormal)
+	// Result latency (the shared charge rule lives in costmodel.go).
+	lat := int64(0)
 	switch {
 	case in.Op.IsLoad():
 		// handled below with the bus transaction
-		lat = 0
-	case in.Op == isa.FADDS, in.Op == isa.FSUBS, in.Op == isa.FADDD,
-		in.Op == isa.FSUBD, in.Op == isa.FNEGS, in.Op == isa.FNEGD:
-		lat = sim.LatFAdd
-	case in.Op == isa.FMULS, in.Op == isa.FMULD:
-		lat = sim.LatFMul
-	case in.Op == isa.FDIVS:
-		lat = sim.LatFDivS
-	case in.Op == isa.FDIVD:
-		lat = sim.LatFDivD
 	case in.Op.IsFCmp():
 		e.fpsrReady = issue + sim.LatFCmp
-	case in.Op >= isa.CVTSISF && in.Op <= isa.CVTSFSI:
-		lat = sim.LatConvert
+	default:
+		lat = ResultLatency(in.Op)
 	}
 	if d := in.Def(); d.Valid() && lat > 0 {
 		e.ready[d] = issue + lat

@@ -68,6 +68,7 @@ func (im *Image) AddNonCode(start, end uint32) {
 		return
 	}
 	im.NonCode = append(im.NonCode, Range{Start: start, End: end})
+	//detlint:ignore sortslice ranges are disjoint, so starts are unique
 	sort.Slice(im.NonCode, func(i, j int) bool { return im.NonCode[i].Start < im.NonCode[j].Start })
 }
 

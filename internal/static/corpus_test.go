@@ -1,0 +1,76 @@
+package static_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/static"
+)
+
+// The negative corpus mirrors internal/verify/testdata: each file is a
+// verify-clean image the analyzer cannot fully bound, with the expected
+// diagnostics pinned to exact PCs. A wrong anchor here means the
+// console output points users at the wrong instruction.
+func TestNegativeCorpus(t *testing.T) {
+	type expect struct {
+		pc   uint32
+		kind string
+	}
+	cases := []struct {
+		file string
+		spec func() *isa.Spec
+		want []expect
+	}{
+		{"dlxe_unbounded_loop.s", isa.DLXe, []expect{
+			{0x1008, static.DiagUnboundedLoop},
+		}},
+		{"dlxe_indirect_no_ldc.s", isa.DLXe, []expect{
+			{0x1014, static.DiagUnresolvedJump},
+		}},
+		{"dlxe_irreducible.s", isa.DLXe, []expect{
+			{0x1020, static.DiagIrreducible},
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := tc.spec()
+			img, err := asm.Assemble(tc.file, string(src), spec)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			rep, err := static.Analyze(img, spec)
+			if err != nil {
+				t.Fatalf("corpus member must be verify-clean: %v", err)
+			}
+			for _, w := range tc.want {
+				found := false
+				for _, d := range rep.Diags {
+					if d.PC == w.pc && d.Kind == w.kind {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("missing diagnostic %s at %#06x; got %v", w.kind, w.pc, rep.Diags)
+				}
+			}
+			// Every corpus member defeats the upper bound; the lower
+			// bound must survive.
+			for _, b := range rep.Bounds {
+				if b.MaxCycles != -1 {
+					t.Errorf("bus=%d w=%d: max = %d, want -1 (top)", b.BusBytes, b.WaitStates, b.MaxCycles)
+				}
+				if b.MinCycles <= 0 {
+					t.Errorf("bus=%d w=%d: min = %d, want > 0", b.BusBytes, b.WaitStates, b.MinCycles)
+				}
+			}
+		})
+	}
+}

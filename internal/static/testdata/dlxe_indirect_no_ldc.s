@@ -1,0 +1,15 @@
+; negative: a register jump whose target is computed rather than loaded
+; as a propagated constant - the verifier ends the walk conservatively,
+; the analyzer reports unresolved-jump and sends the upper bound to top.
+	.text
+	.global _start
+_start:
+	mvi r4, 0          ; 0x1000
+	bz r4, .done       ; 0x1004  keeps .done provably reachable
+	nop                ; 0x1008
+	mvi r14, 4124      ; 0x100c
+	shl r14, r14, r4   ; 0x1010  register shift: target no longer a constant
+	j r14              ; 0x1014  <- unresolved-jump diagnostic
+	nop                ; 0x1018
+.done:
+	trap 0             ; 0x101c

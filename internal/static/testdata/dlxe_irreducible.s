@@ -1,0 +1,20 @@
+; negative: the cycle {.a, .b} has two outside entries (the fall-through
+; into .a and the branch into .b), so neither header dominates the other:
+; the retreating edge founds no natural loop and the flow is irreducible.
+	.text
+	.global _start
+_start:
+	mvi r5, 0       ; 0x1000
+	mvi r4, 1       ; 0x1004
+	bz r4, .b       ; 0x1008  entry #1: into .b
+	nop             ; 0x100c
+.a:
+	subi r4, r4, 1  ; 0x1010  entry #2: fallen into from the slot
+	bnz r4, .b      ; 0x1014
+	nop             ; 0x1018
+	trap 0          ; 0x101c
+.b:
+	addi r5, r5, 1  ; 0x1020  <- irreducible-cfg diagnostic (retreating edge source)
+	bnz r5, .a      ; 0x1024
+	nop             ; 0x1028
+	trap 0          ; 0x102c

@@ -1,0 +1,12 @@
+; negative: the loop counter is computed at run time, so the counted-loop
+; recognizer has no constant trip count and the upper bound is top.
+	.text
+	.global _start
+_start:
+	mvi r4, 7       ; 0x1000
+	shl r4, r4, r4  ; 0x1004  counter no longer a propagated constant
+.loop:
+	subi r4, r4, 1  ; 0x1008  <- loop header: unbounded-loop diagnostic
+	bnz r4, .loop   ; 0x100c
+	nop             ; 0x1010
+	trap 0          ; 0x1014

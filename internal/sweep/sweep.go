@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/jobs"
+	"repro/internal/static"
 	"repro/internal/store"
 	"repro/internal/synth"
 )
@@ -29,7 +30,7 @@ type Failure struct {
 	Class string
 	Seed  uint32
 	Name  string
-	Stage string // compile | verify | run | differential
+	Stage string // compile | verify | static | run | differential
 	Err   string
 	Repro string // one-line repro command
 	Path  string // minimized source artifact, if FailDir was set
@@ -38,7 +39,7 @@ type Failure struct {
 // Summary is the outcome of one sweep.
 type Summary struct {
 	Programs int // corpus members enumerated
-	Passed   int // programs that cleared compile+verify+run+differential on every config
+	Passed   int // programs that cleared compile+verify+static+run+differential on every config
 	Points   int // store points emitted
 	Failures []Failure
 }
@@ -152,7 +153,7 @@ func (r *Runner) Run(spec *Spec, storePath string) (*Summary, error) {
 		return nil
 	}
 	for n, j := range jobsList {
-		pts, err := r.drain(spec, cells, j)
+		pts, err := r.drain(logw, spec, cells, j)
 		if err != nil {
 			sum.Failures = append(sum.Failures, r.report(logw, j))
 			continue
@@ -170,15 +171,16 @@ func (r *Runner) Run(spec *Spec, storePath string) (*Summary, error) {
 		return nil, err
 	}
 
-	fmt.Fprintf(logw, "sweep: %d/%d programs passed verify + differential, %d points\n",
+	fmt.Fprintf(logw, "sweep: %d/%d programs passed verify + static + differential, %d points\n",
 		sum.Passed, sum.Programs, sum.Points)
 	return sum, nil
 }
 
-// drain collects one program's tickets, runs the differential check and
-// expands its grid points. A non-nil error means the program failed a
-// gate; j.stage/j.cfg/j.err carry the details.
-func (r *Runner) drain(spec *Spec, cells []core.AccountConfig, j *job) ([]store.Point, error) {
+// drain collects one program's tickets, runs the static-prefilter and
+// differential checks and expands its grid points. A non-nil error
+// means the program failed a gate; j.stage/j.cfg/j.err carry the
+// details.
+func (r *Runner) drain(logw io.Writer, spec *Spec, cells []core.AccountConfig, j *job) ([]store.Point, error) {
 	if j.err != nil {
 		return nil, j.err
 	}
@@ -191,6 +193,9 @@ func (r *Runner) drain(spec *Spec, cells []core.AccountConfig, j *job) ([]store.
 			return nil, err
 		}
 		profiles[i] = v.(*core.BusProfile)
+	}
+	if err := r.staticGate(logw, spec, j, profiles); err != nil {
+		return nil, err
 	}
 	for i := 1; i < len(profiles); i++ {
 		if profiles[i].Output != profiles[0].Output {
@@ -221,6 +226,40 @@ func (r *Runner) drain(spec *Spec, cells []core.AccountConfig, j *job) ([]store.
 		}
 	}
 	return pts, nil
+}
+
+// staticGate runs the static cost/density analyzer over one program's
+// images and cross-checks every observed execution against the analysis
+// — the shortest halting path through the interprocedural CFG is a
+// sound lower bound on any run's dynamic instruction count (and so on
+// every closed-form grid cell's cycles). A violation means either the
+// analyzer or the pipeline model is wrong, which is exactly what a
+// sweep exists to surface; it fails the program at stage "static". The
+// per-program line keeps the log deterministic: everything in it is a
+// function of the program and config alone.
+func (r *Runner) staticGate(logw io.Writer, spec *Spec, j *job, profiles []*core.BusProfile) error {
+	for i, cfg := range spec.Configs {
+		c, err := r.Lab.Compile(j.bench, cfg)
+		if err != nil {
+			j.stage, j.cfg, j.err = "compile", cfg.Name, err
+			return err
+		}
+		rep, err := static.Analyze(c.Image, cfg)
+		if err != nil {
+			j.stage, j.cfg, j.err = "static", cfg.Name, err
+			return err
+		}
+		img := rep.Image
+		fmt.Fprintf(logw, "sweep: static %s %s text=%d instrs=%d min-instrs=%d fusible=%d\n",
+			j.prog.Name, cfg.Name, img.TextBytes, img.Instrs, img.MinInstrs,
+			img.FuseCmpBranch+img.FuseLdcJump)
+		if got := profiles[i].Stats.Instrs; got < img.MinInstrs {
+			j.stage, j.cfg = "static", cfg.Name
+			j.err = fmt.Errorf("dynamic instruction count %d below static minimum path length %d", got, img.MinInstrs)
+			return j.err
+		}
+	}
+	return nil
 }
 
 // report logs one failing program (deterministically: class, seed,

@@ -230,6 +230,7 @@ func (v *verifier) step(f funcSpan, pc uint32, st *state, push func(uint32, *sta
 	if !in.Op.IsControl() {
 		v.effect(st, pc, in)
 		if in.Op == isa.TRAP && in.Imm == 0 {
+			v.noteHalt(pc)
 			// Halt. The delay-slot-sized shadow after it (a nop the
 			// runtime leaves for the pipeline to drain into) is
 			// considered covered but never interpreted.
@@ -289,12 +290,15 @@ func (v *verifier) step(f funcSpan, pc uint32, st *state, push func(uint32, *sta
 	switch in.Op {
 	case isa.BR:
 		if v.checkTarget(f, pc, target, false) {
+			v.noteTarget(pc, target)
 			push(target, st)
 		}
 	case isa.BZ, isa.BNZ:
 		if v.checkTarget(f, pc, target, false) {
+			v.noteTarget(pc, target)
 			push(target, st)
 		}
+		v.noteFall(pc)
 		v.flow(f, pc, fall, st, push)
 	case isa.JL:
 		if haveTarget {
@@ -302,6 +306,8 @@ func (v *verifier) step(f funcSpan, pc uint32, st *state, push func(uint32, *sta
 				v.violate(pc, CheckCFG, "call target %#x is not a function entry", target)
 			}
 		}
+		v.noteCall(pc, target, haveTarget)
+		v.noteFall(pc)
 		// Call effect: caller-saved state dies, return values appear.
 		m := v.callClobberMask()
 		st.defined &^= m
@@ -316,19 +322,29 @@ func (v *verifier) step(f funcSpan, pc uint32, st *state, push func(uint32, *sta
 		v.flow(f, pc, fall, st, push)
 	case isa.J:
 		if !in.HasImm && in.Rs1 == isa.RegLink {
+			v.noteReturn(pc)
 			v.checkReturn(st, pc)
 			return
 		}
 		if haveTarget {
 			if v.checkTarget(f, pc, target, false) {
+				v.noteTarget(pc, target)
 				push(target, st)
 			}
+		} else {
+			// An unresolvable indirect jump ends the walk conservatively.
+			v.noteUnresolved(pc)
 		}
-		// An unresolvable indirect jump ends the walk conservatively.
 	case isa.JZ, isa.JNZ:
-		if haveTarget && v.checkTarget(f, pc, target, false) {
-			push(target, st)
+		if haveTarget {
+			if v.checkTarget(f, pc, target, false) {
+				v.noteTarget(pc, target)
+				push(target, st)
+			}
+		} else {
+			v.noteUnresolved(pc)
 		}
+		v.noteFall(pc)
 		v.flow(f, pc, fall, st, push)
 	}
 }

@@ -75,6 +75,7 @@ type verifier struct {
 	funcs  []funcSpan
 	starts map[uint32]string // function entry addresses -> name
 	seen   map[string]bool   // violation dedup (pc|check|msg)
+	cfg    *cfgRecorder      // non-nil when CFGOf wants the flow graph back
 }
 
 func (v *verifier) textEnd() uint32 { return isa.TextBase + uint32(len(v.img.Text)) }
@@ -106,14 +107,17 @@ func (v *verifier) violate(pc uint32, check, format string, args ...any) {
 	v.rep.Violations = append(v.rep.Violations, viol)
 }
 
-// symFor returns the enclosing function name for pc.
+// symFor returns the enclosing function name for pc. Addresses outside
+// every function span (an entry point in a pool, a target off the
+// partition) fall back to the image's closest-symbol lookup so verify
+// and the static analyzer name code the same way.
 func (v *verifier) symFor(pc uint32) string {
 	for _, f := range v.funcs {
 		if pc >= f.start && pc < f.end {
 			return f.name
 		}
 	}
-	return ""
+	return v.img.SymbolAt(pc)
 }
 
 func (v *verifier) run() {
