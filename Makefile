@@ -6,9 +6,9 @@
 TMP := /tmp/repro-make
 BIN := $(TMP)/bin
 
-.PHONY: check build test vet lint verify fuzz-short smoke store-smoke determinism explain-smoke sweep-smoke serve-smoke static-smoke bench clean
+.PHONY: check build test vet lint verify fuzz-short smoke store-smoke determinism explain-smoke sweep-smoke serve-smoke static-smoke bench bench-smoke clean
 
-check: vet lint build test fuzz-short verify smoke store-smoke determinism explain-smoke sweep-smoke serve-smoke static-smoke
+check: vet lint build test fuzz-short verify smoke store-smoke determinism explain-smoke sweep-smoke serve-smoke static-smoke bench-smoke
 
 vet:
 	go vet ./...
@@ -140,6 +140,15 @@ serve-smoke: $(BIN)/simd
 # fails on >10% regressions against the previous BENCH file.
 bench: $(BIN)/perfgate
 	$(BIN)/perfgate
+
+# Bench smoke: single-iteration pass over the simulator microbenches in
+# a scratch dir (no BENCH file at the repo root, no baseline compare).
+# Numbers are noise at 1x; the point is exercising the harness plus
+# sim/step's absolute allocs-per-instruction budget on every check.
+bench-smoke: $(BIN)/perfgate
+	rm -rf $(TMP)/bench-smoke && mkdir -p $(TMP)/bench-smoke
+	$(BIN)/perfgate -dir $(TMP)/bench-smoke -benchtime 1x -bench 'sim/'
+	@echo "bench smoke ok: sim microbenches ran, alloc budget held"
 
 clean:
 	rm -rf $(TMP) /tmp/repro-smoke

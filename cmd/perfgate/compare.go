@@ -34,6 +34,11 @@ type Result struct {
 	PointsPerSec   float64 `json:"points_per_sec,omitempty"`
 	ProgramsPerSec float64 `json:"programs_per_sec,omitempty"`
 	ImagesPerSec   float64 `json:"images_per_sec,omitempty"`
+	// AllocsPerInstr is sim/step's allocation density (heap allocations
+	// per simulated instruction, higher-is-worse); beyond the relative
+	// comparison here, the benchmark enforces an absolute budget at
+	// measurement time (see maxAllocsPerInstr in main.go).
+	AllocsPerInstr float64 `json:"allocs_per_instr,omitempty"`
 	// GateThreshold, when positive, overrides the run-wide -threshold
 	// for this benchmark — used by overhead gates (pipe/throughput's 2%)
 	// that must be tighter than the general noise allowance.
@@ -77,6 +82,7 @@ func Compare(old, cur *Report, threshold float64) []Delta {
 		out = append(out, compareMetric(r.Name, "points_per_sec", p.PointsPerSec, r.PointsPerSec, true, th)...)
 		out = append(out, compareMetric(r.Name, "programs_per_sec", p.ProgramsPerSec, r.ProgramsPerSec, true, th)...)
 		out = append(out, compareMetric(r.Name, "images_per_sec", p.ImagesPerSec, r.ImagesPerSec, true, th)...)
+		out = append(out, compareMetric(r.Name, "allocs_per_instr", p.AllocsPerInstr, r.AllocsPerInstr, false, th)...)
 	}
 	return out
 }

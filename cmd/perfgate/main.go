@@ -122,6 +122,13 @@ func main() {
 		}
 		cur.Benchmarks = append(cur.Benchmarks, r)
 	}
+	if sel.MatchString("sim/step") {
+		r, err := benchSimStep()
+		if err != nil {
+			fatal(err)
+		}
+		cur.Benchmarks = append(cur.Benchmarks, r)
+	}
 	if sel.MatchString("pipe/throughput") {
 		r, err := benchPipeThroughput()
 		if err != nil {
@@ -251,7 +258,7 @@ func benchSimThroughput() (Result, error) {
 		b.ReportAllocs()
 		instrs, iters = 0, int64(b.N)
 		for i := 0; i < b.N; i++ {
-			m, err := sim.New(c.Image)
+			m, err := sim.Acquire(c.Image)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -259,6 +266,7 @@ func benchSimThroughput() (Result, error) {
 				b.Fatal(err)
 			}
 			instrs += m.Stats.Instrs
+			sim.Release(m)
 		}
 	})
 	if err != nil {
@@ -267,6 +275,65 @@ func benchSimThroughput() (Result, error) {
 	if iters > 0 && r.NsPerOp > 0 {
 		perIter := float64(instrs) / float64(iters)
 		r.InstrsPerSec = perIter * 1e9 / r.NsPerOp
+	}
+	return r, nil
+}
+
+// maxAllocsPerInstr is sim/step's absolute allocation budget: the
+// pooled, devirtualized simulation loop must stay under this many heap
+// allocations per simulated instruction, every run, regardless of any
+// baseline. (The steady-state loop allocates nothing; the budget only
+// leaves room for the per-run engine construction amortized over the
+// program's path length.)
+const maxAllocsPerInstr = 0.1
+
+// benchSimStep measures the production hot path — pooled machine
+// acquisition, the shared predecoded table, and the devirtualized
+// pipeline engine — and derives allocs_per_instr, the report's
+// allocation-density metric. Unlike the relative regression gates, the
+// budget here is absolute: exceeding it fails the run even with no
+// baseline to compare against.
+func benchSimStep() (Result, error) {
+	prog := bench.ByName("queens")
+	if prog == nil {
+		return Result{}, fmt.Errorf("sim/step: benchmark queens missing")
+	}
+	c, err := mcc.Compile(prog.Name+".mc", prog.Source, isa.D16())
+	if err != nil {
+		return Result{}, err
+	}
+	var instrs, iters int64
+	r, err := run("sim/step", func(b *testing.B) {
+		b.ReportAllocs()
+		instrs, iters = 0, int64(b.N)
+		for i := 0; i < b.N; i++ {
+			m, err := sim.Acquire(c.Image)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Attach(pipeline.New(pipeline.Config{BusBytes: 4, WaitStates: 1}))
+			if err := m.Run(prog.MaxInstrs); err != nil {
+				b.Fatal(err)
+			}
+			instrs += m.Stats.Instrs
+			sim.Release(m)
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if iters > 0 {
+		perIter := float64(instrs) / float64(iters)
+		if r.NsPerOp > 0 {
+			r.InstrsPerSec = perIter * 1e9 / r.NsPerOp
+		}
+		if perIter > 0 {
+			r.AllocsPerInstr = r.AllocsPerOp / perIter
+		}
+	}
+	if r.AllocsPerInstr >= maxAllocsPerInstr {
+		return Result{}, fmt.Errorf("sim/step: %.4f allocations per simulated instruction, absolute budget is %.2f",
+			r.AllocsPerInstr, maxAllocsPerInstr)
 	}
 	return r, nil
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/mcc"
+	"repro/internal/prog"
+	"repro/internal/static"
+)
+
+// benchStaticThroughput measures the static cost/density analyzer —
+// verified images analyzed per wall-clock second across both base ISAs,
+// dominators, loop inference and the full bound grid included.
+// Compilation happens once outside the loop: the analyzer's cost, not
+// the compiler's, is what this gate watches.
+func benchStaticThroughput() (Result, error) {
+	type input struct {
+		img  *prog.Image
+		spec *isa.Spec
+	}
+	var inputs []input
+	for _, spec := range []*isa.Spec{isa.D16(), isa.DLXe()} {
+		for _, b := range bench.All() {
+			c, err := mcc.Compile(b.Name+".mc", b.Source, spec)
+			if err != nil {
+				return Result{}, err
+			}
+			inputs = append(inputs, input{c.Image, spec})
+		}
+	}
+	var images, iters int64
+	r, err := run("static/throughput", func(b *testing.B) {
+		b.ReportAllocs()
+		images, iters = 0, int64(b.N)
+		for i := 0; i < b.N; i++ {
+			for _, in := range inputs {
+				if _, err := static.Analyze(in.img, in.spec); err != nil {
+					b.Fatal(err)
+				}
+				images++
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if iters > 0 && r.NsPerOp > 0 {
+		perIter := float64(images) / float64(iters)
+		r.ImagesPerSec = perIter * 1e9 / r.NsPerOp
+	}
+	return r, nil
+}

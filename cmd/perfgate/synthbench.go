@@ -1,0 +1,82 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+	"repro/internal/synth"
+)
+
+// benchSynthThroughput measures corpus generation speed — programs
+// emitted per wall-clock second, one of every class per op — with no
+// compilation or simulation in the loop. This is the cost the sweep
+// driver pays before any grid work starts.
+func benchSynthThroughput() (Result, error) {
+	classes := synth.Classes()
+	var progs, iters int64
+	r, err := run("synth/throughput", func(b *testing.B) {
+		b.ReportAllocs()
+		progs, iters = 0, int64(b.N)
+		for i := 0; i < b.N; i++ {
+			for ci, class := range classes {
+				p, err := synth.Generate(class, synth.DeriveSeed(uint64(i), class, ci))
+				if err != nil || len(p.Source) == 0 {
+					b.Fatalf("generate %s: %v", class, err)
+				}
+				progs++
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if iters > 0 && r.NsPerOp > 0 {
+		perIter := float64(progs) / float64(iters)
+		r.ProgramsPerSec = perIter * 1e9 / r.NsPerOp
+	}
+	return r, nil
+}
+
+// benchSweepThroughput measures the sweep engine end to end — generate,
+// compile for both ISAs, verify, run, differentially check, expand the
+// grid and stream the store — as surface points per wall-clock second
+// on a cold lab each iteration (the way `repro -sweep` runs it).
+func benchSweepThroughput() (Result, error) {
+	spec, err := sweep.Parse("classes=loopy,callheavy count=2 seed=11 waits=0-3")
+	if err != nil {
+		return Result{}, err
+	}
+	dir, err := os.MkdirTemp("", "perfgate-sweep")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+	var points, iters int64
+	r, err := run("sweep/throughput", func(b *testing.B) {
+		b.ReportAllocs()
+		points, iters = 0, int64(b.N)
+		for i := 0; i < b.N; i++ {
+			runner := &sweep.Runner{Lab: core.NewLab(), Log: io.Discard}
+			sum, err := runner.Run(spec, filepath.Join(dir, "points.mcst"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(sum.Failures) > 0 {
+				b.Fatalf("%d corpus programs failed", len(sum.Failures))
+			}
+			points += int64(sum.Points)
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if iters > 0 && r.NsPerOp > 0 {
+		perIter := float64(points) / float64(iters)
+		r.PointsPerSec = perIter * 1e9 / r.NsPerOp
+	}
+	return r, nil
+}

@@ -295,10 +295,11 @@ func (l *Lab) runMeasure(b *bench.Benchmark, spec *isa.Spec, c *mcc.Compiled) (*
 	span := telemetry.StartSpan("measure",
 		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
 	defer span.End()
-	machine, err := sim.New(c.Image)
+	machine, err := sim.Acquire(c.Image)
 	if err != nil {
 		return nil, err
 	}
+	defer sim.Release(machine)
 	m := &Measurement{
 		Bench:        b.Name,
 		Spec:         spec,
@@ -363,10 +364,11 @@ func (l *Lab) runCacheSweep(b *bench.Benchmark, spec *isa.Spec, c *mcc.Compiled,
 		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name),
 		telemetry.String("geometries", fmt.Sprintf("%d", len(cfgs))))
 	defer span.End()
-	machine, err := sim.New(c.Image)
+	machine, err := sim.Acquire(c.Image)
 	if err != nil {
 		return nil, err
 	}
+	defer sim.Release(machine)
 	var systems []*cache.System
 	for _, cfg := range cfgs {
 		sys, err := cache.NewSystem(cfg, cfg)
@@ -418,10 +420,11 @@ func (l *Lab) runPipeline(b *bench.Benchmark, spec *isa.Spec, c *mcc.Compiled, c
 	span := telemetry.StartSpan("pipeline-run",
 		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
 	defer span.End()
-	machine, err := sim.New(c.Image)
+	machine, err := sim.Acquire(c.Image)
 	if err != nil {
 		return nil, err
 	}
+	defer sim.Release(machine)
 	var engines []*pipeline.Engine
 	for _, cfg := range cfgs {
 		e := pipeline.New(cfg)
@@ -491,10 +494,11 @@ func (l *Lab) runAccount(b *bench.Benchmark, spec *isa.Spec, c *mcc.Compiled, cf
 	span := telemetry.StartSpan("account-run",
 		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
 	defer span.End()
-	machine, err := sim.New(c.Image)
+	machine, err := sim.Acquire(c.Image)
 	if err != nil {
 		return nil, err
 	}
+	defer sim.Release(machine)
 	run := &AccountRun{Syms: sim.NewSymTable(c.Image)}
 	for _, ac := range cfgs {
 		pc := pipeline.Config{

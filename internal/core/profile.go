@@ -107,10 +107,11 @@ func (l *Lab) runBusProfile(b *bench.Benchmark, spec *isa.Spec, c *mcc.Compiled,
 	span := telemetry.StartSpan("bus-profile",
 		telemetry.String("bench", b.Name), telemetry.String("config", spec.Name))
 	defer span.End()
-	machine, err := sim.New(c.Image)
+	machine, err := sim.Acquire(c.Image)
 	if err != nil {
 		return nil, err
 	}
+	defer sim.Release(machine)
 	p := &BusProfile{
 		Bench:        b.Name,
 		Spec:         spec,

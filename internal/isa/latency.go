@@ -1,0 +1,45 @@
+package isa
+
+// Pipeline result latencies in cycles (a result produced at cycle t is
+// usable by an instruction issuing at t+latency). Ordinary operations
+// have latency 1; loads have 2 (the one-cycle delay slot). These are
+// machine-model constants shared by the simulator's scoreboard, the
+// pipeline timing engine and the static cost analyzer, so the three can
+// never disagree on a latency.
+const (
+	LatNormal  = 1
+	LatLoad    = 2
+	LatFAdd    = 2
+	LatFMul    = 5
+	LatFDivS   = 12
+	LatFDivD   = 19
+	LatFCmp    = 2
+	LatConvert = 2
+)
+
+// ResultLatency is the charge rule for operand readiness: the number of
+// cycles after issue before op's result is architecturally available to
+// a dependent instruction. Loads return LatLoad — the base load-use
+// window; timing models layer bus latency and port contention on top.
+// FP compares return LatFCmp — the window an rdsr waits on through the
+// FP status register rather than a general register.
+func ResultLatency(op Op) int64 {
+	switch {
+	case op.IsLoad():
+		return LatLoad
+	case op == FADDS, op == FSUBS, op == FADDD,
+		op == FSUBD, op == FNEGS, op == FNEGD:
+		return LatFAdd
+	case op == FMULS, op == FMULD:
+		return LatFMul
+	case op == FDIVS:
+		return LatFDivS
+	case op == FDIVD:
+		return LatFDivD
+	case op.IsFCmp():
+		return LatFCmp
+	case op >= CVTSISF && op <= CVTSFSI:
+		return LatConvert
+	}
+	return LatNormal
+}

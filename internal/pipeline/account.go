@@ -7,7 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/isa"
-	"repro/internal/sim"
+	"repro/internal/prog"
 	"repro/internal/telemetry"
 )
 
@@ -176,7 +176,7 @@ type FuncAccount struct {
 // PerFunc folds the per-PC table over a symbol table (the same
 // machinery sim.Profile uses), sorted by cycles descending then name.
 // Requires EnablePCAccounting before the run.
-func (e *Engine) PerFunc(st *sim.SymTable) []FuncAccount {
+func (e *Engine) PerFunc(st *prog.SymTable) []FuncAccount {
 	byIdx := map[int]*FuncAccount{}
 	for _, row := range e.PerPC() {
 		i := st.Index(row.PC)

@@ -1,7 +1,8 @@
-package pipeline
+package pipeline_test
 
 import (
 	"fmt"
+	"repro/internal/pipeline"
 	"testing"
 
 	"repro/internal/cache"
@@ -49,7 +50,7 @@ int main() {
 // runAccounted compiles acctProgram for spec, runs it under one engine
 // per config (single execution), and returns the engines plus the
 // symbol table.
-func runAccounted(t *testing.T, spec *isa.Spec, cfgs []Config) ([]*Engine, *sim.SymTable) {
+func runAccounted(t *testing.T, spec *isa.Spec, cfgs []pipeline.Config) ([]*pipeline.Engine, *sim.SymTable) {
 	t.Helper()
 	c, err := mcc.Compile("acct.mc", acctProgram, spec)
 	if err != nil {
@@ -59,9 +60,9 @@ func runAccounted(t *testing.T, spec *isa.Spec, cfgs []Config) ([]*Engine, *sim.
 	if err != nil {
 		t.Fatal(err)
 	}
-	var engines []*Engine
+	var engines []*pipeline.Engine
 	for _, cfg := range cfgs {
-		e := New(cfg)
+		e := pipeline.New(cfg)
 		e.EnablePCAccounting()
 		engines = append(engines, e)
 		m.Attach(e)
@@ -74,22 +75,22 @@ func runAccounted(t *testing.T, spec *isa.Spec, cfgs []Config) ([]*Engine, *sim.
 
 // TestAttributionInvariant is the accounting property test: across both
 // ISAs, bus widths 4 and 8, wait states 0-3, shared vs split port, and
-// cacheless vs cached memory, the bucket sums must equal Engine.Cycles
+// cacheless vs cached memory, the bucket sums must equal pipeline.Engine.Cycles
 // exactly — globally, per PC, and per function.
 func TestAttributionInvariant(t *testing.T) {
 	for _, spec := range []*isa.Spec{isa.D16(), isa.DLXe()} {
-		var cfgs []Config
+		var cfgs []pipeline.Config
 		for _, bus := range []uint32{4, 8} {
 			for _, waits := range []int64{0, 1, 2, 3} {
 				for _, shared := range []bool{false, true} {
-					cfgs = append(cfgs, Config{BusBytes: bus, WaitStates: waits, SharedPort: shared})
+					cfgs = append(cfgs, pipeline.Config{BusBytes: bus, WaitStates: waits, SharedPort: shared})
 				}
 			}
 			sys, err := cache.NewSystem(cache.PaperConfig(1024), cache.PaperConfig(1024))
 			if err != nil {
 				t.Fatal(err)
 			}
-			cfgs = append(cfgs, Config{BusBytes: bus, Caches: sys, MissPenalty: 8, SharedPort: bus == 4})
+			cfgs = append(cfgs, pipeline.Config{BusBytes: bus, Caches: sys, MissPenalty: 8, SharedPort: bus == 4})
 		}
 		engines, st := runAccounted(t, spec, cfgs)
 		for i, e := range engines {
@@ -98,28 +99,28 @@ func TestAttributionInvariant(t *testing.T) {
 			if got, want := bd.Sum(), e.Cycles(); got != want {
 				t.Errorf("%s: bucket sum %d != cycles %d (%v)", name, got, want, bd)
 			}
-			if bd[BUseful] != e.Instrs {
-				t.Errorf("%s: useful bucket %d != instrs %d", name, bd[BUseful], e.Instrs)
+			if bd[pipeline.BUseful] != e.Instrs {
+				t.Errorf("%s: useful bucket %d != instrs %d", name, bd[pipeline.BUseful], e.Instrs)
 			}
-			if e.Instrs > 0 && bd[BDrain] != DrainCycles {
-				t.Errorf("%s: drain bucket %d != %d", name, bd[BDrain], DrainCycles)
+			if e.Instrs > 0 && bd[pipeline.BDrain] != pipeline.DrainCycles {
+				t.Errorf("%s: drain bucket %d != %d", name, bd[pipeline.BDrain], pipeline.DrainCycles)
 			}
-			if cfgs[i].Caches == nil && bd[BCacheMiss] != 0 {
-				t.Errorf("%s: cacheless engine charged cache_miss %d", name, bd[BCacheMiss])
+			if cfgs[i].Caches == nil && bd[pipeline.BCacheMiss] != 0 {
+				t.Errorf("%s: cacheless engine charged cache_miss %d", name, bd[pipeline.BCacheMiss])
 			}
-			if cfgs[i].Caches != nil && (bd[BFetchWait] != 0 || bd[BDataWait] != 0) {
+			if cfgs[i].Caches != nil && (bd[pipeline.BFetchWait] != 0 || bd[pipeline.BDataWait] != 0) {
 				t.Errorf("%s: cached engine charged wait-state buckets %d/%d",
-					name, bd[BFetchWait], bd[BDataWait])
+					name, bd[pipeline.BFetchWait], bd[pipeline.BDataWait])
 			}
 
 			// Per-PC rows reconstruct the global attribution exactly.
-			var pcSum Breakdown
+			var pcSum pipeline.Breakdown
 			for _, row := range e.PerPC() {
-				for b := 0; b < NumBuckets; b++ {
+				for b := 0; b < pipeline.NumBuckets; b++ {
 					pcSum[b] += row.Buckets[b]
 				}
 			}
-			pcSum[BDrain] += bd[BDrain] // drain is global-only
+			pcSum[pipeline.BDrain] += bd[pipeline.BDrain] // drain is global-only
 			if pcSum != bd {
 				t.Errorf("%s: per-PC sums %v != global %v", name, pcSum, bd)
 			}
@@ -130,7 +131,7 @@ func TestAttributionInvariant(t *testing.T) {
 				fnCycles += fa.Cycles
 				fnBytes += fa.FetchBytes
 			}
-			if want := e.Cycles() - bd[BDrain]; fnCycles != want {
+			if want := e.Cycles() - bd[pipeline.BDrain]; fnCycles != want {
 				t.Errorf("%s: per-func cycles %d != %d", name, fnCycles, want)
 			}
 			if fnBytes != e.FetchBytes() {
@@ -145,7 +146,7 @@ func TestAttributionInvariant(t *testing.T) {
 
 		// Interlock causes must actually show up on this workload.
 		bd := engines[0].Breakdown() // bus 4, waits 0, split, cacheless
-		if bd[BLoadDelay] == 0 || bd[BFPU] == 0 {
+		if bd[pipeline.BLoadDelay] == 0 || bd[pipeline.BFPU] == 0 {
 			t.Errorf("%s: expected load-delay and FPU stalls, got %v", spec, bd)
 		}
 	}
@@ -154,17 +155,17 @@ func TestAttributionInvariant(t *testing.T) {
 // TestAttributionMatchesLegacyCounters pins the bucket totals to the
 // engine's long-standing aggregate counters.
 func TestAttributionMatchesLegacyCounters(t *testing.T) {
-	cfgs := []Config{{BusBytes: 4, WaitStates: 2, SharedPort: true}}
+	cfgs := []pipeline.Config{{BusBytes: 4, WaitStates: 2, SharedPort: true}}
 	engines, _ := runAccounted(t, isa.DLXe(), cfgs)
 	e := engines[0]
 	bd := e.Breakdown()
-	if got := bd[BLoadDelay] + bd[BFPU] + bd[BDataWait]; got > e.Interlock+e.DataBusStall {
+	if got := bd[pipeline.BLoadDelay] + bd[pipeline.BFPU] + bd[pipeline.BDataWait]; got > e.Interlock+e.DataBusStall {
 		t.Errorf("interlock-side buckets %d exceed Interlock+DataBusStall %d", got, e.Interlock+e.DataBusStall)
 	}
-	fetchSide := bd[BFetchWait] + bd[BPortContention] + bd[BDataWait]
-	if fetchSide+bd[BLoadDelay]+bd[BFPU] != e.FetchStall+e.Interlock {
+	fetchSide := bd[pipeline.BFetchWait] + bd[pipeline.BPortContention] + bd[pipeline.BDataWait]
+	if fetchSide+bd[pipeline.BLoadDelay]+bd[pipeline.BFPU] != e.FetchStall+e.Interlock {
 		t.Errorf("stall buckets %d != FetchStall+Interlock %d",
-			fetchSide+bd[BLoadDelay]+bd[BFPU], e.FetchStall+e.Interlock)
+			fetchSide+bd[pipeline.BLoadDelay]+bd[pipeline.BFPU], e.FetchStall+e.Interlock)
 	}
 }
 
@@ -176,7 +177,7 @@ func TestCachedEngineFasterThanWaitStates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfgs := []Config{
+	cfgs := []pipeline.Config{
 		{BusBytes: 4, WaitStates: 8},
 		{BusBytes: 4, Caches: sys, MissPenalty: 8},
 	}
@@ -185,7 +186,7 @@ func TestCachedEngineFasterThanWaitStates(t *testing.T) {
 		t.Errorf("cached engine (%d cycles) should beat 8 wait states (%d cycles)",
 			engines[1].Cycles(), engines[0].Cycles())
 	}
-	if engines[1].Breakdown()[BCacheMiss] == 0 {
+	if engines[1].Breakdown()[pipeline.BCacheMiss] == 0 {
 		t.Errorf("cached engine reported no miss-penalty cycles")
 	}
 }

@@ -1,37 +1,17 @@
 package pipeline
 
-import (
-	"repro/internal/isa"
-	"repro/internal/sim"
-)
+import "repro/internal/isa"
 
 // ResultLatency is the engine's charge rule for operand readiness: the
 // number of cycles after issue before op's result is architecturally
-// available to a dependent instruction. It is the single source of truth
-// shared by Exec's interlock model and the static cost analyzer
-// (internal/static), so the two can never disagree on a latency.
+// available to a dependent instruction. The rule itself lives in
+// isa.ResultLatency — the single source of truth shared by the
+// simulator's scoreboard, this engine's interlock model, the predecoded
+// per-instruction metadata (internal/decode) and the static cost
+// analyzer (internal/static), so none of them can disagree on a latency.
 //
-// Loads return sim.LatLoad — the base load-use window; the engine layers
+// Loads return isa.LatLoad — the base load-use window; the engine layers
 // bus latency and port contention on top of it in dataAccess. FP
-// compares return sim.LatFCmp — the window an rdsr waits on through the
+// compares return isa.LatFCmp — the window an rdsr waits on through the
 // FP status register rather than a general register.
-func ResultLatency(op isa.Op) int64 {
-	switch {
-	case op.IsLoad():
-		return sim.LatLoad
-	case op == isa.FADDS, op == isa.FSUBS, op == isa.FADDD,
-		op == isa.FSUBD, op == isa.FNEGS, op == isa.FNEGD:
-		return sim.LatFAdd
-	case op == isa.FMULS, op == isa.FMULD:
-		return sim.LatFMul
-	case op == isa.FDIVS:
-		return sim.LatFDivS
-	case op == isa.FDIVD:
-		return sim.LatFDivD
-	case op.IsFCmp():
-		return sim.LatFCmp
-	case op >= isa.CVTSISF && op <= isa.CVTSFSI:
-		return sim.LatConvert
-	}
-	return sim.LatNormal
-}
+func ResultLatency(op isa.Op) int64 { return isa.ResultLatency(op) }

@@ -39,8 +39,8 @@ package pipeline
 
 import (
 	"repro/internal/cache"
+	"repro/internal/decode"
 	"repro/internal/isa"
-	"repro/internal/sim"
 )
 
 // DrainCycles is the constant pipeline fill/drain tail added to the
@@ -134,11 +134,24 @@ func New(cfg Config) *Engine {
 	return e
 }
 
-var _ sim.Observer = (*Engine)(nil)
-
-// Exec implements sim.Observer: it advances the model by one issued
-// instruction.
+// Exec implements the sim observer contract: it advances the model by
+// one issued instruction, synthesizing the predecoded metadata on the
+// fly. Hot paths that already hold a shared decode table call ExecOp
+// directly; both entry points funnel into the same implementation, so
+// they cannot diverge.
 func (e *Engine) Exec(pc uint32, in isa.Instr) {
+	e.ExecOp(pc, decode.Synth(in))
+}
+
+// ExecOp advances the model by one issued instruction given its
+// predecoded micro-op. This is the devirtualized fast path the
+// simulator uses when exactly one Engine is attached: no interface
+// dispatch, and the operand/latency metadata comes precomputed from
+// the shared table instead of being re-derived per dynamic instruction.
+// op is passed by value: the 24-byte copy keeps every field access on
+// the local stack frame (uninstrumented under the race detector, no
+// aliasing barriers for the optimizer).
+func (e *Engine) ExecOp(pc uint32, op decode.Op) {
 	e.Instrs++
 	issue := e.clock + 1
 
@@ -184,14 +197,19 @@ func (e *Engine) Exec(pc uint32, in isa.Instr) {
 	// windows.
 	preIssue := issue
 	blocking := -1
-	var buf [4]isa.Reg
-	for _, r := range in.Uses(buf[:0]) {
-		if t := e.ready[r]; t > issue {
+	if op.U1 != decode.None {
+		if t := e.ready[op.U1]; t > issue {
 			issue = t
-			blocking = int(r)
+			blocking = int(op.U1)
 		}
 	}
-	if in.Op == isa.RDSR && e.fpsrReady > issue {
+	if op.U2 != decode.None {
+		if t := e.ready[op.U2]; t > issue {
+			issue = t
+			blocking = int(op.U2)
+		}
+	}
+	if op.Flags&decode.FRDSR != 0 && e.fpsrReady > issue {
 		issue = e.fpsrReady
 		blocking = -2 // FPSR
 	}
@@ -218,40 +236,36 @@ func (e *Engine) Exec(pc uint32, in isa.Instr) {
 	e.clock = issue
 	e.charge(pc, BUseful, 1, StageEX, issue)
 
-	// Result latency (the shared charge rule lives in costmodel.go).
-	lat := int64(0)
+	// Result latency (the shared metadata rule lives in decode.Meta; the
+	// table's Lat column is isa.ResultLatency of the opcode).
 	switch {
-	case in.Op.IsLoad():
-		// handled below with the bus transaction
-	case in.Op.IsFCmp():
-		e.fpsrReady = issue + sim.LatFCmp
-	default:
-		lat = ResultLatency(in.Op)
-	}
-	if d := in.Def(); d.Valid() && lat > 0 {
-		e.ready[d] = issue + lat
-		// Only multi-cycle producers can induce stalls; they are all FPU
-		// results (converts included). Loads are overwritten below.
-		e.meta[d] = regMeta{base: issue + lat, cause: BFPU, latBucket: BDataWait}
-	}
-	switch {
-	case in.Op.IsLoad():
+	case op.Flags&decode.FLoad != 0:
 		// The MEM-stage access is a memory request through the shared
 		// port; the loaded value is ready when the transfer completes.
 		done, con, cost, bucket := e.dataAccess(issue, false)
-		if d := in.Def(); d.Valid() {
+		if d := op.Def; d != decode.None {
 			e.ready[d] = done + 1
 			e.meta[d] = regMeta{
-				base:      issue + sim.LatLoad,
+				base:      issue + isa.LatLoad,
 				con:       con,
 				lat:       cost,
 				cause:     BLoadDelay,
 				latBucket: bucket,
 			}
-			e.DataBusStall += done + 1 - (issue + sim.LatLoad)
+			e.DataBusStall += done + 1 - (issue + isa.LatLoad)
 		}
-	case in.Op.IsStore():
+	case op.Flags&decode.FStore != 0:
 		e.dataAccess(issue, true)
+	case op.Flags&decode.FFCmp != 0:
+		e.fpsrReady = issue + isa.LatFCmp
+	default:
+		if d := op.Def; d != decode.None {
+			lat := int64(op.Lat)
+			e.ready[d] = issue + lat
+			// Only multi-cycle producers can induce stalls; they are all
+			// FPU results (converts included).
+			e.meta[d] = regMeta{base: issue + lat, cause: BFPU, latBucket: BDataWait}
+		}
 	}
 	e.pendOK = false
 }

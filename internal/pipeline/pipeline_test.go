@@ -1,6 +1,7 @@
-package pipeline
+package pipeline_test
 
 import (
+	"repro/internal/pipeline"
 	"testing"
 
 	"repro/internal/asm"
@@ -9,7 +10,7 @@ import (
 	"repro/internal/sim"
 )
 
-func runWith(t *testing.T, src string, spec *isa.Spec, cfg Config) (*Engine, *memsys.NoCache, *sim.Machine) {
+func runWith(t *testing.T, src string, spec *isa.Spec, cfg pipeline.Config) (*pipeline.Engine, *memsys.NoCache, *sim.Machine) {
 	t.Helper()
 	img, err := asm.Assemble("t.s", src, spec)
 	if err != nil {
@@ -19,7 +20,7 @@ func runWith(t *testing.T, src string, spec *isa.Spec, cfg Config) (*Engine, *me
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := New(cfg)
+	e := pipeline.New(cfg)
 	nc := memsys.NewNoCache(cfg.BusBytes)
 	m.Attach(e)
 	m.Attach(nc)
@@ -44,7 +45,7 @@ _start:
 
 func TestZeroWaitStatesMatchesIdeal(t *testing.T) {
 	for _, spec := range []*isa.Spec{isa.D16(), isa.DLXe()} {
-		e, _, m := runWith(t, straightLine, spec, Config{BusBytes: 4, WaitStates: 0})
+		e, _, m := runWith(t, straightLine, spec, pipeline.Config{BusBytes: 4, WaitStates: 0})
 		// With zero wait states and no hazards, one instruction per cycle
 		// plus the pipeline drain.
 		want := m.Stats.Instrs + 4
@@ -60,15 +61,15 @@ func TestZeroWaitStatesMatchesIdeal(t *testing.T) {
 func TestFetchStallsScaleWithWaitStates(t *testing.T) {
 	// On DLXe with a 32-bit bus every instruction is a fetch request, so
 	// each wait state costs about one cycle per instruction.
-	e0, _, m := runWith(t, straightLine, isa.DLXe(), Config{BusBytes: 4, WaitStates: 0})
-	e2, _, _ := runWith(t, straightLine, isa.DLXe(), Config{BusBytes: 4, WaitStates: 2})
+	e0, _, m := runWith(t, straightLine, isa.DLXe(), pipeline.Config{BusBytes: 4, WaitStates: 0})
+	e2, _, _ := runWith(t, straightLine, isa.DLXe(), pipeline.Config{BusBytes: 4, WaitStates: 2})
 	extra := e2.Cycles() - e0.Cycles()
 	if want := 2 * m.Stats.Instrs; extra != want {
 		t.Errorf("extra cycles = %d, want %d", extra, want)
 	}
 	// D16 packs two instructions per fetch: about half the penalty.
-	d0, _, md := runWith(t, straightLine, isa.D16(), Config{BusBytes: 4, WaitStates: 0})
-	d2, _, _ := runWith(t, straightLine, isa.D16(), Config{BusBytes: 4, WaitStates: 2})
+	d0, _, md := runWith(t, straightLine, isa.D16(), pipeline.Config{BusBytes: 4, WaitStates: 0})
+	d2, _, _ := runWith(t, straightLine, isa.D16(), pipeline.Config{BusBytes: 4, WaitStates: 2})
 	dExtra := d2.Cycles() - d0.Cycles()
 	if dExtra >= extra {
 		t.Errorf("D16 fetch penalty (%d) should be below DLXe's (%d)", dExtra, extra)
@@ -87,7 +88,7 @@ _start:
 	.data
 w: .word 7
 `
-	e, _, m := runWith(t, src, isa.DLXe(), Config{BusBytes: 4, WaitStates: 0})
+	e, _, m := runWith(t, src, isa.DLXe(), pipeline.Config{BusBytes: 4, WaitStates: 0})
 	// ld(1) add(stall 1) trap nop => instrs + 1 stall + drain.
 	if want := m.Stats.Instrs + 1 + 4; e.Cycles() != want {
 		t.Errorf("cycles = %d, want %d", e.Cycles(), want)
@@ -126,7 +127,7 @@ loop:
 arr: .space 256
 `
 	for _, l := range []int64{0, 1, 2, 3} {
-		e, nc, m := runWith(t, src, isa.DLXe(), Config{BusBytes: 4, WaitStates: l})
+		e, nc, m := runWith(t, src, isa.DLXe(), pipeline.Config{BusBytes: 4, WaitStates: l})
 		formula := nc.Cycles(m.Stats.Instrs, m.Stats.Interlocks, l)
 		engine := e.Cycles()
 		diff := float64(engine-formula) / float64(formula)
@@ -148,7 +149,7 @@ arr: .space 256
 }
 
 func TestRequestCountsAgreeWithMemsys(t *testing.T) {
-	e, nc, _ := runWith(t, straightLine, isa.D16(), Config{BusBytes: 4, WaitStates: 1})
+	e, nc, _ := runWith(t, straightLine, isa.D16(), pipeline.Config{BusBytes: 4, WaitStates: 1})
 	if e.FetchRequests != nc.IRequests {
 		t.Errorf("fetch requests %d != memsys %d", e.FetchRequests, nc.IRequests)
 	}

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/sim"
+	"repro/internal/prog"
 	"repro/internal/telemetry"
 )
 
@@ -142,7 +142,7 @@ func (e *Engine) Recorder() *Recorder { return e.rec }
 // with the PC (and, when a symbol table is given, the containing
 // function) in its args; the global drain tail is emitted as one
 // synthetic WB-lane event so the lanes cover Cycles() exactly.
-func (e *Engine) WriteChromeTrace(w io.Writer, st *sim.SymTable) error {
+func (e *Engine) WriteChromeTrace(w io.Writer, st *prog.SymTable) error {
 	if e.rec == nil {
 		return errors.New("pipeline: no recorder attached (set Config.RecordDepth or call SetRecorder before the run)")
 	}

@@ -1,0 +1,18 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestRecorderRecordNoAlloc: the steady-state ring record path must not
+// allocate (the always-on property).
+func TestRecorderRecordNoAlloc(t *testing.T) {
+	r := NewRecorder(16)
+	ev := Event{Cycle: 1, N: 1, PC: isa.TextBase, Stage: StageEX, Cause: BUseful}
+	allocs := testing.AllocsPerRun(1000, func() { r.record(ev) })
+	if allocs != 0 {
+		t.Errorf("record allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -1,9 +1,10 @@
-package pipeline
+package pipeline_test
 
 import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"repro/internal/pipeline"
 	"strings"
 	"testing"
 
@@ -14,13 +15,13 @@ import (
 // recorderGrid is the property-test grid: both ISAs × bus widths × wait
 // states × port sharing × cacheless/cached — the same coverage as
 // TestAttributionInvariant, with a full-trace recorder on every engine.
-func recorderGrid(t *testing.T, spec *isa.Spec) []Config {
+func recorderGrid(t *testing.T, spec *isa.Spec) []pipeline.Config {
 	t.Helper()
-	var cfgs []Config
+	var cfgs []pipeline.Config
 	for _, bus := range []uint32{4, 8} {
 		for _, waits := range []int64{0, 1, 2, 3} {
 			for _, shared := range []bool{false, true} {
-				cfgs = append(cfgs, Config{
+				cfgs = append(cfgs, pipeline.Config{
 					BusBytes: bus, WaitStates: waits, SharedPort: shared,
 					RecordDepth: -1,
 				})
@@ -30,7 +31,7 @@ func recorderGrid(t *testing.T, spec *isa.Spec) []Config {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfgs = append(cfgs, Config{
+		cfgs = append(cfgs, pipeline.Config{
 			BusBytes: bus, Caches: sys, MissPenalty: 8, SharedPort: bus == 4,
 			RecordDepth: -1,
 		})
@@ -60,20 +61,20 @@ func TestRecorderEventsReproduceBuckets(t *testing.T) {
 
 			// Per-cause event sums == buckets (drain is global-only).
 			want := e.Breakdown()
-			want[BDrain] = 0
-			var fromEvents Breakdown
-			perPC := map[uint32]*Breakdown{}
+			want[pipeline.BDrain] = 0
+			var fromEvents pipeline.Breakdown
+			perPC := map[uint32]*pipeline.Breakdown{}
 			for _, ev := range rec.Events() {
 				if ev.N <= 0 {
 					t.Fatalf("%s: event with non-positive length: %+v", name, ev)
 				}
-				if int(ev.Stage) >= NumStages {
+				if int(ev.Stage) >= pipeline.NumStages {
 					t.Fatalf("%s: event with bad stage: %+v", name, ev)
 				}
 				fromEvents[ev.Cause] += ev.N
 				row := perPC[ev.PC]
 				if row == nil {
-					row = &Breakdown{}
+					row = &pipeline.Breakdown{}
 					perPC[ev.PC] = row
 				}
 				row[ev.Cause] += ev.N
@@ -84,7 +85,7 @@ func TestRecorderEventsReproduceBuckets(t *testing.T) {
 			if fromEvents != rec.Totals() {
 				t.Errorf("%s: running totals %v != event sums %v", name, rec.Totals(), fromEvents)
 			}
-			if got, wantCyc := fromEvents.Sum()+DrainCycles, e.Cycles(); got != wantCyc {
+			if got, wantCyc := fromEvents.Sum()+pipeline.DrainCycles, e.Cycles(); got != wantCyc {
 				t.Errorf("%s: event sum + drain = %d, cycles = %d", name, got, wantCyc)
 			}
 
@@ -92,7 +93,7 @@ func TestRecorderEventsReproduceBuckets(t *testing.T) {
 			rows := e.PerPC()
 			for _, row := range rows {
 				got := perPC[row.PC]
-				if row.Buckets == (Breakdown{}) {
+				if row.Buckets == (pipeline.Breakdown{}) {
 					continue // fetch-bytes-only row, no cycles charged
 				}
 				if got == nil {
@@ -116,7 +117,7 @@ func TestRecorderEventsReproduceBuckets(t *testing.T) {
 // of the most recent events in order.
 func TestRecorderRingExactTotals(t *testing.T) {
 	const depth = 64
-	cfgs := []Config{
+	cfgs := []pipeline.Config{
 		{BusBytes: 4, WaitStates: 2, SharedPort: true, RecordDepth: depth},
 		{BusBytes: 4, WaitStates: 2, SharedPort: true, RecordDepth: -1},
 	}
@@ -124,7 +125,7 @@ func TestRecorderRingExactTotals(t *testing.T) {
 	ring, full := engines[0].Recorder(), engines[1].Recorder()
 
 	want := engines[0].Breakdown()
-	want[BDrain] = 0
+	want[pipeline.BDrain] = 0
 	if ring.Totals() != want {
 		t.Errorf("ring totals %v != buckets %v", ring.Totals(), want)
 	}
@@ -148,21 +149,10 @@ func TestRecorderRingExactTotals(t *testing.T) {
 	}
 }
 
-// TestRecorderRecordNoAlloc: the steady-state ring record path must not
-// allocate (the always-on property).
-func TestRecorderRecordNoAlloc(t *testing.T) {
-	r := NewRecorder(16)
-	ev := Event{Cycle: 1, N: 1, PC: isa.TextBase, Stage: StageEX, Cause: BUseful}
-	allocs := testing.AllocsPerRun(1000, func() { r.record(ev) })
-	if allocs != 0 {
-		t.Errorf("record allocates %.1f times per call, want 0", allocs)
-	}
-}
-
 // TestWriteChromeTrace: the export is valid JSON with one named lane
 // per stage, cause-named events carrying pc/sym args, and a drain tail.
 func TestWriteChromeTrace(t *testing.T) {
-	cfgs := []Config{{BusBytes: 4, WaitStates: 1, RecordDepth: -1}}
+	cfgs := []pipeline.Config{{BusBytes: 4, WaitStates: 1, RecordDepth: -1}}
 	engines, st := runAccounted(t, isa.D16(), cfgs)
 	e := engines[0]
 
@@ -189,24 +179,24 @@ func TestWriteChromeTrace(t *testing.T) {
 		switch {
 		case ev.Ph == "M" && ev.Name == "thread_name":
 			lanes[ev.Args["name"]] = true
-		case ev.Name == BDrain.String():
+		case ev.Name == pipeline.BDrain.String():
 			drains++
-			if ev.Dur != DrainCycles {
-				t.Errorf("drain event dur %v, want %d", ev.Dur, DrainCycles)
+			if ev.Dur != pipeline.DrainCycles {
+				t.Errorf("drain event dur %v, want %d", ev.Dur, pipeline.DrainCycles)
 			}
 		case ev.Ph == "X":
 			windows++
 			if ev.Args["pc"] == "" || ev.Args["sym"] == "" {
 				t.Errorf("window event %q missing pc/sym args: %v", ev.Name, ev.Args)
 			}
-			if ev.TID < 1 || ev.TID > NumStages {
-				t.Errorf("window event %q on lane %d, want 1..%d", ev.Name, ev.TID, NumStages)
+			if ev.TID < 1 || ev.TID > pipeline.NumStages {
+				t.Errorf("window event %q on lane %d, want 1..%d", ev.Name, ev.TID, pipeline.NumStages)
 			}
 		}
 	}
-	for s := 0; s < NumStages; s++ {
-		if !lanes[Stage(s).String()] {
-			t.Errorf("no lane metadata for stage %s (got %v)", Stage(s), lanes)
+	for s := 0; s < pipeline.NumStages; s++ {
+		if !lanes[pipeline.Stage(s).String()] {
+			t.Errorf("no lane metadata for stage %s (got %v)", pipeline.Stage(s), lanes)
 		}
 	}
 	if drains != 1 {
@@ -215,7 +205,7 @@ func TestWriteChromeTrace(t *testing.T) {
 	if int64(windows) != e.Recorder().Total() {
 		t.Errorf("trace has %d windows, recorder holds %d", windows, e.Recorder().Total())
 	}
-	if e2 := New(Config{BusBytes: 4}); e2.WriteChromeTrace(&buf, nil) == nil {
+	if e2 := pipeline.New(pipeline.Config{BusBytes: 4}); e2.WriteChromeTrace(&buf, nil) == nil {
 		t.Error("WriteChromeTrace without a recorder should fail")
 	}
 }
@@ -224,11 +214,11 @@ func TestWriteChromeTrace(t *testing.T) {
 func TestStageString(t *testing.T) {
 	want := []string{"IF", "ID", "EX", "MEM", "WB"}
 	for i, w := range want {
-		if got := Stage(i).String(); got != w {
-			t.Errorf("Stage(%d) = %q, want %q", i, got, w)
+		if got := pipeline.Stage(i).String(); got != w {
+			t.Errorf("pipeline.Stage(%d) = %q, want %q", i, got, w)
 		}
 	}
-	if got := Stage(9).String(); !strings.Contains(got, "9") {
+	if got := pipeline.Stage(9).String(); !strings.Contains(got, "9") {
 		t.Errorf("out-of-range stage renders %q", got)
 	}
 }

@@ -1,0 +1,67 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/mcc"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+// The throughput benchmarks mirror perfgate's sim/throughput and
+// sim/step gates in `go test -bench` form so the hot loop can be
+// profiled in place (-cpuprofile) without running the full harness.
+
+func compileQueens(b *testing.B) *mcc.Compiled {
+	b.Helper()
+	prog := bench.ByName("queens")
+	if prog == nil {
+		b.Fatal("benchmark queens missing")
+	}
+	c, err := mcc.Compile(prog.Name+".mc", prog.Source, isa.D16())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkRun(b *testing.B) {
+	c := compileQueens(b)
+	max := bench.ByName("queens").MaxInstrs
+	b.ReportAllocs()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		m, err := sim.Acquire(c.Image)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(max); err != nil {
+			b.Fatal(err)
+		}
+		instrs += m.Stats.Instrs
+		sim.Release(m)
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+func BenchmarkRunEngine(b *testing.B) {
+	c := compileQueens(b)
+	max := bench.ByName("queens").MaxInstrs
+	b.ReportAllocs()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		m, err := sim.Acquire(c.Image)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Attach(pipeline.New(pipeline.Config{BusBytes: 4, WaitStates: 1}))
+		if err := m.Run(max); err != nil {
+			b.Fatal(err)
+		}
+		instrs += m.Stats.Instrs
+		sim.Release(m)
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/decode"
 	"repro/internal/isa"
 )
 
@@ -16,17 +17,18 @@ const (
 	TrapPutFlt  = 4 // print f1 as %g
 )
 
-// exec executes one decoded instruction. For control transfers it returns
-// the target address and taken=true; the caller implements the
-// architectural delay slot.
-func (m *Machine) exec(in isa.Instr) (target uint32, taken bool, err error) {
-	g := m.rdG
+// exec executes one predecoded instruction. For control transfers it
+// returns the target address and taken=true; the caller implements the
+// architectural delay slot. It is allocation-free (direct register-file
+// accessors, no method-value closures).
+func (m *Machine) exec(op decode.Op) (target uint32, taken bool, err error) {
+	in := &op.In
 	switch in.Op {
 	case isa.NOP:
 
 	// --- memory -----------------------------------------------------------
 	case isa.LD:
-		addr := uint32(g(in.Rs1) + in.Imm)
+		addr := uint32(m.rdG(in.Rs1) + in.Imm)
 		v, err := m.load32(addr)
 		if err != nil {
 			return 0, false, err
@@ -42,7 +44,7 @@ func (m *Machine) exec(in isa.Instr) (target uint32, taken bool, err error) {
 		m.notifyLoad(addr, 4)
 		m.wrG(in.Rd, int32(v))
 	case isa.LDH, isa.LDHU:
-		addr := uint32(g(in.Rs1) + in.Imm)
+		addr := uint32(m.rdG(in.Rs1) + in.Imm)
 		if err := m.checkAddr(addr, 2); err != nil {
 			return 0, false, err
 		}
@@ -54,7 +56,7 @@ func (m *Machine) exec(in isa.Instr) (target uint32, taken bool, err error) {
 			m.wrG(in.Rd, int32(v))
 		}
 	case isa.LDB, isa.LDBU:
-		addr := uint32(g(in.Rs1) + in.Imm)
+		addr := uint32(m.rdG(in.Rs1) + in.Imm)
 		if err := m.checkAddr(addr, 1); err != nil {
 			return 0, false, err
 		}
@@ -66,24 +68,24 @@ func (m *Machine) exec(in isa.Instr) (target uint32, taken bool, err error) {
 			m.wrG(in.Rd, int32(v))
 		}
 	case isa.ST:
-		addr := uint32(g(in.Rs1) + in.Imm)
-		if err := m.store32(addr, uint32(g(in.Rd))); err != nil {
+		addr := uint32(m.rdG(in.Rs1) + in.Imm)
+		if err := m.store32(addr, uint32(m.rdG(in.Rd))); err != nil {
 			return 0, false, err
 		}
 		m.notifyStore(addr, 4)
 	case isa.STH:
-		addr := uint32(g(in.Rs1) + in.Imm)
+		addr := uint32(m.rdG(in.Rs1) + in.Imm)
 		if err := m.checkAddr(addr, 2); err != nil {
 			return 0, false, err
 		}
-		binary.LittleEndian.PutUint16(m.Mem[addr:], uint16(g(in.Rd)))
+		binary.LittleEndian.PutUint16(m.Mem[addr:], uint16(m.rdG(in.Rd)))
 		m.notifyStore(addr, 2)
 	case isa.STB:
-		addr := uint32(g(in.Rs1) + in.Imm)
+		addr := uint32(m.rdG(in.Rs1) + in.Imm)
 		if err := m.checkAddr(addr, 1); err != nil {
 			return 0, false, err
 		}
-		m.Mem[addr] = byte(g(in.Rd))
+		m.Mem[addr] = byte(m.rdG(in.Rd))
 		m.notifyStore(addr, 1)
 
 	// --- control ----------------------------------------------------------
@@ -93,7 +95,7 @@ func (m *Machine) exec(in isa.Instr) (target uint32, taken bool, err error) {
 		return uint32(int32(m.PC) + in.Imm), true, nil
 	case isa.BZ, isa.BNZ:
 		m.Stats.Branches++
-		cond := g(in.Rs1) == 0
+		cond := m.rdG(in.Rs1) == 0
 		if in.Op == isa.BNZ {
 			cond = !cond
 		}
@@ -109,66 +111,66 @@ func (m *Machine) exec(in isa.Instr) (target uint32, taken bool, err error) {
 		if in.HasImm {
 			return uint32(int32(m.PC) + in.Imm), true, nil
 		}
-		return uint32(g(in.Rs1)), true, nil
+		return uint32(m.rdG(in.Rs1)), true, nil
 	case isa.JZ, isa.JNZ:
 		m.Stats.Jumps++
-		cond := g(isa.RegCC) == 0
+		cond := m.rdG(isa.RegCC) == 0
 		if in.Op == isa.JNZ {
 			cond = !cond
 		}
 		if cond {
-			return uint32(g(in.Rs1)), true, nil
+			return uint32(m.rdG(in.Rs1)), true, nil
 		}
 
 	// --- integer ALU ------------------------------------------------------
 	case isa.CMP:
 		b := in.Imm
 		if !in.HasImm {
-			b = g(in.Rs2)
+			b = m.rdG(in.Rs2)
 		}
 		v := int32(0)
-		if in.Cond.EvalInt(g(in.Rs1), b) {
+		if in.Cond.EvalInt(m.rdG(in.Rs1), b) {
 			v = 1
 		}
 		m.wrG(in.Rd, v)
 	case isa.ADD:
-		m.wrG(in.Rd, g(in.Rs1)+g(in.Rs2))
+		m.wrG(in.Rd, m.rdG(in.Rs1)+m.rdG(in.Rs2))
 	case isa.ADDI:
-		m.wrG(in.Rd, g(in.Rs1)+in.Imm)
+		m.wrG(in.Rd, m.rdG(in.Rs1)+in.Imm)
 	case isa.SUB:
-		m.wrG(in.Rd, g(in.Rs1)-g(in.Rs2))
+		m.wrG(in.Rd, m.rdG(in.Rs1)-m.rdG(in.Rs2))
 	case isa.SUBI:
-		m.wrG(in.Rd, g(in.Rs1)-in.Imm)
+		m.wrG(in.Rd, m.rdG(in.Rs1)-in.Imm)
 	case isa.AND:
-		m.wrG(in.Rd, g(in.Rs1)&g(in.Rs2))
+		m.wrG(in.Rd, m.rdG(in.Rs1)&m.rdG(in.Rs2))
 	case isa.ANDI:
-		m.wrG(in.Rd, g(in.Rs1)&in.Imm)
+		m.wrG(in.Rd, m.rdG(in.Rs1)&in.Imm)
 	case isa.OR:
-		m.wrG(in.Rd, g(in.Rs1)|g(in.Rs2))
+		m.wrG(in.Rd, m.rdG(in.Rs1)|m.rdG(in.Rs2))
 	case isa.ORI:
-		m.wrG(in.Rd, g(in.Rs1)|in.Imm)
+		m.wrG(in.Rd, m.rdG(in.Rs1)|in.Imm)
 	case isa.XOR:
-		m.wrG(in.Rd, g(in.Rs1)^g(in.Rs2))
+		m.wrG(in.Rd, m.rdG(in.Rs1)^m.rdG(in.Rs2))
 	case isa.XORI:
-		m.wrG(in.Rd, g(in.Rs1)^in.Imm)
+		m.wrG(in.Rd, m.rdG(in.Rs1)^in.Imm)
 	case isa.NEG:
-		m.wrG(in.Rd, -g(in.Rs1))
+		m.wrG(in.Rd, -m.rdG(in.Rs1))
 	case isa.INV:
-		m.wrG(in.Rd, ^g(in.Rs1))
+		m.wrG(in.Rd, ^m.rdG(in.Rs1))
 	case isa.SHL:
-		m.wrG(in.Rd, g(in.Rs1)<<(uint32(g(in.Rs2))&31))
+		m.wrG(in.Rd, m.rdG(in.Rs1)<<(uint32(m.rdG(in.Rs2))&31))
 	case isa.SHLI:
-		m.wrG(in.Rd, g(in.Rs1)<<(uint32(in.Imm)&31))
+		m.wrG(in.Rd, m.rdG(in.Rs1)<<(uint32(in.Imm)&31))
 	case isa.SHR:
-		m.wrG(in.Rd, int32(uint32(g(in.Rs1))>>(uint32(g(in.Rs2))&31)))
+		m.wrG(in.Rd, int32(uint32(m.rdG(in.Rs1))>>(uint32(m.rdG(in.Rs2))&31)))
 	case isa.SHRI:
-		m.wrG(in.Rd, int32(uint32(g(in.Rs1))>>(uint32(in.Imm)&31)))
+		m.wrG(in.Rd, int32(uint32(m.rdG(in.Rs1))>>(uint32(in.Imm)&31)))
 	case isa.SHRA:
-		m.wrG(in.Rd, g(in.Rs1)>>(uint32(g(in.Rs2))&31))
+		m.wrG(in.Rd, m.rdG(in.Rs1)>>(uint32(m.rdG(in.Rs2))&31))
 	case isa.SHRAI:
-		m.wrG(in.Rd, g(in.Rs1)>>(uint32(in.Imm)&31))
+		m.wrG(in.Rd, m.rdG(in.Rs1)>>(uint32(in.Imm)&31))
 	case isa.MV:
-		m.wrG(in.Rd, g(in.Rs1))
+		m.wrG(in.Rd, m.rdG(in.Rs1))
 	case isa.MVI:
 		m.wrG(in.Rd, in.Imm)
 	case isa.MVHI:
@@ -177,10 +179,10 @@ func (m *Machine) exec(in isa.Instr) (target uint32, taken bool, err error) {
 	// --- register-file transfer --------------------------------------------
 	case isa.MVFL:
 		f := in.Rd.Num()
-		m.FPR[f] = m.FPR[f]&^0xFFFFFFFF | uint64(uint32(g(in.Rs1)))
+		m.FPR[f] = m.FPR[f]&^0xFFFFFFFF | uint64(uint32(m.rdG(in.Rs1)))
 	case isa.MVFH:
 		f := in.Rd.Num()
-		m.FPR[f] = m.FPR[f]&0xFFFFFFFF | uint64(uint32(g(in.Rs1)))<<32
+		m.FPR[f] = m.FPR[f]&0xFFFFFFFF | uint64(uint32(m.rdG(in.Rs1)))<<32
 	case isa.MFFL:
 		m.wrG(in.Rd, int32(uint32(m.FPR[in.Rs1.Num()])))
 	case isa.MFFH:
@@ -234,9 +236,9 @@ func (m *Machine) exec(in isa.Instr) (target uint32, taken bool, err error) {
 
 	// --- conversions --------------------------------------------------------
 	case isa.CVTSISF:
-		m.FPR[in.Rd.Num()] = b32(float32(g(in.Rs1)))
+		m.FPR[in.Rd.Num()] = b32(float32(m.rdG(in.Rs1)))
 	case isa.CVTSIDF:
-		m.FPR[in.Rd.Num()] = b64(float64(g(in.Rs1)))
+		m.FPR[in.Rd.Num()] = b64(float64(m.rdG(in.Rs1)))
 	case isa.CVTSFDF:
 		m.FPR[in.Rd.Num()] = b64(float64(f32(m.FPR[in.Rs1.Num()])))
 	case isa.CVTDFSF:

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+// forward hides a pipeline.Engine behind a plain Observer so Attach
+// cannot recognize it and the run takes the generic dispatch path.
+type forward struct{ e *pipeline.Engine }
+
+func (f forward) Exec(pc uint32, in isa.Instr) { f.e.Exec(pc, in) }
+func (f forward) Load(addr, size uint32)       { f.e.Load(addr, size) }
+func (f forward) Store(addr, size uint32)      { f.e.Store(addr, size) }
+
+// TestFastPathMatchesGenericEngine: the devirtualized ExecOp path and
+// the generic Observer path produce identical timing — total cycles,
+// every attribution bucket, and the full per-PC tables — across memory
+// configurations and both encodings.
+func TestFastPathMatchesGenericEngine(t *testing.T) {
+	cfgs := []pipeline.Config{
+		{BusBytes: 4, WaitStates: 0},
+		{BusBytes: 4, WaitStates: 3, SharedPort: true},
+		{BusBytes: 8, WaitStates: 1},
+	}
+	for _, spec := range bothSpecs() {
+		img := assemble(t, loopProgram(spec), spec)
+		for _, cfg := range cfgs {
+			fast := pipeline.New(cfg)
+			fast.EnablePCAccounting()
+			mf, err := New(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mf.Attach(fast)
+			if mf.eng == nil {
+				t.Fatal("single attached engine not devirtualized")
+			}
+			if err := mf.Run(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+
+			slow := pipeline.New(cfg)
+			slow.EnablePCAccounting()
+			ms, err := New(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms.Attach(forward{slow})
+			if ms.eng != nil {
+				t.Fatal("wrapped engine unexpectedly devirtualized")
+			}
+			if err := ms.Run(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+
+			if fast.Cycles() != slow.Cycles() {
+				t.Errorf("%v %+v: cycles %d (fast) != %d (generic)", spec.Enc, cfg, fast.Cycles(), slow.Cycles())
+			}
+			if fast.Breakdown() != slow.Breakdown() {
+				t.Errorf("%v %+v: breakdown %v != %v", spec.Enc, cfg, fast.Breakdown(), slow.Breakdown())
+			}
+			if !reflect.DeepEqual(fast.PerPC(), slow.PerPC()) {
+				t.Errorf("%v %+v: per-PC tables differ", spec.Enc, cfg)
+			}
+			if mf.Stats != ms.Stats {
+				t.Errorf("%v %+v: machine stats differ: %+v vs %+v", spec.Enc, cfg, mf.Stats, ms.Stats)
+			}
+		}
+	}
+}

@@ -19,13 +19,26 @@
 // A Machine and everything attached to it (observers, trace ring,
 // output buffer) belong to one run on one goroutine; none of it is
 // internally locked. The *prog.Image passed to New is only read — its
-// segments are copied into the machine's private memory and pre-decoded
-// instruction array — so a single compiled image may safely back any
-// number of machines running concurrently on distinct goroutines. The
-// package keeps no mutable package-level state, and execution is fully
-// deterministic: identical images produce identical outputs, stats and
-// observer event streams on every run (asserted by core's
+// segments are copied into the machine's private memory, and its text
+// is predecoded exactly once per distinct image into an immutable
+// shared table (see the decode package) — so a single compiled image
+// may safely back any number of machines running concurrently on
+// distinct goroutines. The package's only mutable package-level state
+// is the machine free pool (Acquire/Release), which hands each machine
+// to exactly one owner at a time; execution is fully deterministic:
+// identical images produce identical outputs, stats and observer event
+// streams on every run (asserted by core's
 // TestConcurrentRunsDeterministic under -race).
+//
+// # Hot-loop discipline
+//
+// Run and everything it calls per instruction (account, exec, the
+// observer notifications) must not allocate: the perfgate benchmark
+// sim/step enforces an allocs-per-instruction ceiling, and
+// TestRunDoesNotAllocate asserts zero steady-state allocations. When
+// exactly one pipeline.Engine is attached, Run calls it directly
+// (devirtualized); any other observer mix takes the interface slice
+// path.
 package sim
 
 import (
@@ -35,25 +48,27 @@ import (
 	"io"
 	"math"
 
-	"repro/internal/d16"
-	"repro/internal/dlxe"
+	"repro/internal/decode"
 	"repro/internal/isa"
+	"repro/internal/pipeline"
 	"repro/internal/prog"
 	"repro/internal/telemetry"
 )
 
 // FPU result latencies in cycles (a result produced at cycle t is usable
 // by an instruction issuing at t+latency). Ordinary operations have
-// latency 1; loads have 2 (the one-cycle delay slot).
+// latency 1; loads have 2 (the one-cycle delay slot). The constants
+// live in isa (shared with the timing models and the static analyzer);
+// these aliases keep the historical sim.Lat* names working.
 const (
-	LatNormal  = 1
-	LatLoad    = 2
-	LatFAdd    = 2
-	LatFMul    = 5
-	LatFDivS   = 12
-	LatFDivD   = 19
-	LatFCmp    = 2
-	LatConvert = 2
+	LatNormal  = isa.LatNormal
+	LatLoad    = isa.LatLoad
+	LatFAdd    = isa.LatFAdd
+	LatFMul    = isa.LatFMul
+	LatFDivS   = isa.LatFDivS
+	LatFDivD   = isa.LatFDivD
+	LatFCmp    = isa.LatFCmp
+	LatConvert = isa.LatConvert
 )
 
 // Stats accumulates the dynamic measures of one run.
@@ -115,16 +130,27 @@ type Machine struct {
 	// (sequence number, pc, disassembly) — the full-trace debug mode.
 	TraceW io.Writer
 
-	text      []isa.Instr // pre-decoded text segment
-	textErr   []error
+	dec       *decode.Text // shared read-only predecoded text segment
 	textBase  uint32
 	ib        uint32
 	obs       []Observer
+	eng       *pipeline.Engine   // devirtualized path when it is the only observer
+	engs      []*pipeline.Engine // attached engines, driven via ExecOp (no Synth)
+	others    []Observer         // non-engine observers, driven via the interface
 	itrace    *telemetry.Ring[TraceEntry]
 	t         int64 // issue cycle counter for the scoreboard
 	ready     [64]int64
 	fpsrReady int64
 	lastWord  uint32 // last fetched 32-bit word address (+1 so 0 = none)
+
+	// Reset bookkeeping: the memory this tenancy may have written —
+	// the loaded image's spans plus the byte range covered by executed
+	// stores — so a pooled reuse clears only what is dirty instead of
+	// re-zeroing all of isa.MemSize.
+	loadedTextEnd uint32
+	loadedDataEnd uint32
+	dirtyLo       uint32
+	dirtyHi       uint32
 }
 
 // TraceEntry is one instruction-trace ring-buffer slot. The faulting
@@ -140,42 +166,97 @@ func (e TraceEntry) String() string {
 	return fmt.Sprintf("%10d  %06x  %s", e.Seq, e.PC, e.In)
 }
 
-// New loads an image into a fresh machine.
+// New loads an image into a fresh machine. The image's text is not
+// re-decoded here: the machine borrows the shared predecoded table for
+// the image's content (decode.For), so constructing many machines for
+// one image costs one decode total.
 func New(img *prog.Image) (*Machine, error) {
-	m := &Machine{
-		Enc:      img.Enc,
-		Mem:      make([]byte, isa.MemSize),
-		PC:       img.Entry,
-		r0Zero:   img.Enc == isa.EncDLXe,
-		textBase: isa.TextBase,
-		ib:       img.Enc.InstrBytes(),
-	}
-	if err := img.Load(m.Mem); err != nil {
+	m := &Machine{Mem: make([]byte, isa.MemSize)}
+	if err := m.Reset(img); err != nil {
 		return nil, err
-	}
-	m.GPR[isa.RegSP.Num()] = int32(isa.StackTop)
-	m.GPR[isa.RegGP.Num()] = int32(isa.DataBase)
-
-	// Pre-decode the text segment. Literal-pool words may not decode;
-	// they fault only if executed.
-	n := len(img.Text) / int(m.ib)
-	m.text = make([]isa.Instr, n)
-	m.textErr = make([]error, n)
-	for i := 0; i < n; i++ {
-		pc := m.textBase + uint32(i)*m.ib
-		if m.Enc == isa.EncD16 {
-			w := binary.LittleEndian.Uint16(img.Text[i*2:])
-			m.text[i], m.textErr[i] = d16.DecodeV(w, pc, d16.Variant{Cmp8: img.Cmp8})
-		} else {
-			w := binary.LittleEndian.Uint32(img.Text[i*4:])
-			m.text[i], m.textErr[i] = dlxe.Decode(w, pc)
-		}
 	}
 	return m, nil
 }
 
-// Attach adds a timing-model observer.
-func (m *Machine) Attach(o Observer) { m.obs = append(m.obs, o) }
+// Reset returns the machine to the exact state New(img) produces while
+// reusing its memory (asserted byte-for-byte, registers included, by
+// TestPooledResetMatchesFresh). Only memory the previous tenancy could
+// have written is cleared: the prior image's text and data+BSS spans
+// and the byte range covered by executed stores. Observers, tracing and
+// output are dropped. On error the machine is left partially cleared
+// and must be discarded.
+func (m *Machine) Reset(img *prog.Image) error {
+	if m.loadedTextEnd > isa.TextBase {
+		clear(m.Mem[isa.TextBase:m.loadedTextEnd])
+	}
+	if m.loadedDataEnd > isa.DataBase {
+		clear(m.Mem[isa.DataBase:m.loadedDataEnd])
+	}
+	if m.dirtyHi > m.dirtyLo {
+		clear(m.Mem[m.dirtyLo:m.dirtyHi])
+	}
+	m.Enc = img.Enc
+	m.r0Zero = img.Enc == isa.EncDLXe
+	m.dec = decode.For(img)
+	m.textBase = m.dec.Base
+	m.ib = m.dec.IB
+	if err := img.Load(m.Mem); err != nil {
+		return err
+	}
+	m.loadedTextEnd = img.TextEnd()
+	m.loadedDataEnd = img.DataEnd()
+	m.dirtyLo, m.dirtyHi = uint32(len(m.Mem)), 0
+	m.PC = img.Entry
+	m.GPR = [32]int32{}
+	m.FPR = [32]uint64{}
+	m.GPR[isa.RegSP.Num()] = int32(isa.StackTop)
+	m.GPR[isa.RegGP.Num()] = int32(isa.DataBase)
+	m.FPSR = false
+	m.halted = false
+	m.Output.Reset()
+	m.Stats = Stats{}
+	m.TraceW = nil
+	for i := range m.obs {
+		m.obs[i] = nil
+	}
+	m.obs = m.obs[:0]
+	for i := range m.engs {
+		m.engs[i] = nil
+	}
+	m.engs = m.engs[:0]
+	for i := range m.others {
+		m.others[i] = nil
+	}
+	m.others = m.others[:0]
+	m.eng = nil
+	m.itrace = nil
+	m.t = 0
+	m.ready = [64]int64{}
+	m.fpsrReady = 0
+	m.lastWord = 0
+	return nil
+}
+
+// Attach adds a timing-model observer. pipeline.Engine observers are
+// recognized by type once here and driven through direct ExecOp calls
+// in the run loop — a single attached engine gets the fully
+// devirtualized fast path, and additional engines (multi-bus profiling
+// attaches up to eight) still skip the interface dispatch and the
+// per-instruction metadata synthesis. Only observers of other types go
+// through the generic Exec interface.
+func (m *Machine) Attach(o Observer) {
+	m.obs = append(m.obs, o)
+	if e, ok := o.(*pipeline.Engine); ok {
+		m.engs = append(m.engs, e)
+	} else {
+		m.others = append(m.others, o)
+	}
+	if len(m.obs) == 1 && len(m.engs) == 1 {
+		m.eng = m.engs[0]
+	} else {
+		m.eng = nil
+	}
+}
 
 // EnableITrace keeps a ring buffer of the last n executed instructions
 // for post-mortem dumps (n <= 0 disables it).
@@ -228,47 +309,109 @@ func (m *Machine) fault(format string, args ...any) error {
 	return &Fault{PC: m.PC, Msg: fmt.Sprintf(format, args...)}
 }
 
-func (m *Machine) fetch(pc uint32) (isa.Instr, error) {
-	if pc < m.textBase || pc%m.ib != 0 {
-		return isa.Instr{}, m.fault("instruction fetch outside text (%#x)", pc)
-	}
-	i := int((pc - m.textBase) / m.ib)
-	if i >= len(m.text) {
-		return isa.Instr{}, m.fault("instruction fetch outside text (%#x)", pc)
-	}
-	if m.textErr[i] != nil {
-		return isa.Instr{}, m.fault("executing undecodable word: %v", m.textErr[i])
-	}
-	return m.text[i], nil
-}
-
 // Run executes until trap 0 or maxInstrs instructions. It returns an
 // error on any fault; exceeding maxInstrs is a fault (runaway program).
+//
+// The loop is the simulator's hot path: one indexed load into the
+// shared decode table per instruction (undecodable words are sentinel
+// ops in the same table, so there is no separate error lookup), the
+// inline scoreboard in account, and a direct call into the single
+// attached pipeline engine when one is present. None of it allocates.
 func (m *Machine) Run(maxInstrs int64) error {
+	ops := m.dec.Ops
+	base, shift, ibMask := m.dec.Base, m.dec.Shift, m.ib-1
 	pc, npc := m.PC, m.PC+m.ib
+
+	// The per-instruction bookkeeping — path-length counters, the
+	// sequential-fetch word count and the interlock scoreboard clock —
+	// lives in locals for the duration of the loop and is flushed to
+	// Stats on every exit. The scoreboard reads the table's precomputed
+	// register sources, destination and result latency; the historical
+	// per-instruction re-derivation from the decoded form is gone.
+	instrs, nops, fetchWords, interlocks := m.Stats.Instrs, m.Stats.Nops, m.Stats.FetchWords, m.Stats.Interlocks
+	t, lastWord, fpsrReady := m.t, m.lastWord, m.fpsrReady
+	var runErr error
+
 	for !m.halted {
-		if m.Stats.Instrs >= maxInstrs {
+		if instrs >= maxInstrs {
 			m.PC = pc
-			return m.fault("instruction budget %d exhausted", maxInstrs)
+			runErr = m.fault("instruction budget %d exhausted", maxInstrs)
+			break
 		}
 		m.PC = pc
-		in, err := m.fetch(pc)
-		if err != nil {
-			return err
+		// pc below base wraps the subtraction to a huge offset, so one
+		// unsigned compare covers both ends of the text segment (and
+		// lets the compiler drop the slice bounds check on ops).
+		off := pc - base
+		i := off >> shift
+		if i >= uint32(len(ops)) || off&ibMask != 0 {
+			runErr = m.fault("instruction fetch outside text (%#x)", pc)
+			break
+		}
+		// Copy the micro-op out of the shared table: 24 bytes, and every
+		// later field access is a provably-local read (which also keeps
+		// the race detector from instrumenting each one individually).
+		op := ops[i]
+		if op.Flags&decode.FBad != 0 {
+			runErr = m.fault("executing undecodable word: %v", m.dec.Errs[int(i)])
+			break
 		}
 		if m.itrace != nil {
-			m.itrace.Push(TraceEntry{Seq: m.Stats.Instrs + 1, PC: pc, In: in})
+			m.itrace.Push(TraceEntry{Seq: instrs + 1, PC: pc, In: op.In})
 		}
 		if m.TraceW != nil {
-			fmt.Fprintf(m.TraceW, "%10d  %06x  %s\n", m.Stats.Instrs+1, pc, in)
+			fmt.Fprintf(m.TraceW, "%10d  %06x  %s\n", instrs+1, pc, op.In)
 		}
-		m.account(pc, in)
-		target, taken, err := m.exec(in)
+
+		instrs++
+		if op.Flags&decode.FNop != 0 {
+			nops++
+		}
+		// Word-granularity instruction traffic (Table 8's measure): a
+		// new 32-bit word is fetched whenever execution leaves the
+		// current word, sequentially or by branching.
+		if w := pc&^3 + 1; w != lastWord {
+			fetchWords++
+			lastWord = w
+		}
+		// Scoreboard: stall until all sources are ready.
+		issue := t
+		if op.U1 != decode.None {
+			if rt := m.ready[op.U1]; rt > issue {
+				issue = rt
+			}
+		}
+		if op.U2 != decode.None {
+			if rt := m.ready[op.U2]; rt > issue {
+				issue = rt
+			}
+		}
+		if op.Flags&decode.FRDSR != 0 && fpsrReady > issue {
+			issue = fpsrReady
+		}
+		interlocks += issue - t
+		t = issue + 1
+		if op.Flags&decode.FFCmp != 0 {
+			fpsrReady = issue + LatFCmp
+		}
+		if op.Def != decode.None {
+			m.ready[op.Def] = issue + int64(op.Lat)
+		}
+
+		target, taken, err := m.exec(op)
 		if err != nil {
-			return err
+			runErr = err
+			break
 		}
-		for _, o := range m.obs {
-			o.Exec(pc, in)
+		if m.eng != nil {
+			m.eng.ExecOp(pc, op)
+		} else {
+			for _, e := range m.engs {
+				e.ExecOp(pc, op)
+			}
+			for _, o := range m.others {
+				o.Exec(pc, op.In)
+			}
 		}
 		if taken {
 			pc, npc = npc, target
@@ -276,63 +419,12 @@ func (m *Machine) Run(maxInstrs int64) error {
 			pc, npc = npc, npc+m.ib
 		}
 	}
-	m.PC = pc
-	return nil
-}
-
-// account updates path-length statistics, the sequential-fetch word count
-// and the interlock scoreboard for one instruction.
-func (m *Machine) account(pc uint32, in isa.Instr) {
-	m.Stats.Instrs++
-	if in.Op == isa.NOP {
-		m.Stats.Nops++
+	m.Stats.Instrs, m.Stats.Nops, m.Stats.FetchWords, m.Stats.Interlocks = instrs, nops, fetchWords, interlocks
+	m.t, m.lastWord, m.fpsrReady = t, lastWord, fpsrReady
+	if runErr == nil {
+		m.PC = pc
 	}
-
-	// Word-granularity instruction traffic (Table 8's measure): a new
-	// 32-bit word is fetched whenever execution leaves the current word,
-	// sequentially or by branching.
-	w := pc&^3 + 1
-	if w != m.lastWord {
-		m.Stats.FetchWords++
-		m.lastWord = w
-	}
-
-	// Scoreboard: stall until all sources are ready.
-	issue := m.t
-	var srcs [4]isa.Reg
-	uses := in.Uses(srcs[:0])
-	for _, r := range uses {
-		if rt := m.ready[r]; rt > issue {
-			issue = rt
-		}
-	}
-	if in.Op == isa.RDSR && m.fpsrReady > issue {
-		issue = m.fpsrReady
-	}
-	m.Stats.Interlocks += issue - m.t
-	m.t = issue + 1
-
-	lat := int64(LatNormal)
-	switch {
-	case in.Op.IsLoad():
-		lat = LatLoad
-	case in.Op == isa.FADDS, in.Op == isa.FSUBS, in.Op == isa.FADDD, in.Op == isa.FSUBD,
-		in.Op == isa.FNEGS, in.Op == isa.FNEGD:
-		lat = LatFAdd
-	case in.Op == isa.FMULS, in.Op == isa.FMULD:
-		lat = LatFMul
-	case in.Op == isa.FDIVS:
-		lat = LatFDivS
-	case in.Op == isa.FDIVD:
-		lat = LatFDivD
-	case in.Op.IsFCmp():
-		m.fpsrReady = issue + LatFCmp
-	case in.Op >= isa.CVTSISF && in.Op <= isa.CVTSFSI:
-		lat = LatConvert
-	}
-	if d := in.Def(); d.Valid() {
-		m.ready[d] = issue + lat
-	}
+	return runErr
 }
 
 // ExpectedCycles returns the scoreboard's ideal cycle count: one cycle per
@@ -409,13 +501,33 @@ func (m *Machine) notifyLoad(addr, size uint32) {
 	if addr >= isa.TextBase && addr < isa.DataBase {
 		m.Stats.PoolLoads++
 	}
-	for _, o := range m.obs {
+	if m.eng != nil {
+		m.eng.Load(addr, size)
+		return
+	}
+	for _, e := range m.engs {
+		e.Load(addr, size)
+	}
+	for _, o := range m.others {
 		o.Load(addr, size)
 	}
 }
 func (m *Machine) notifyStore(addr, size uint32) {
 	m.Stats.Stores++
-	for _, o := range m.obs {
+	if addr < m.dirtyLo {
+		m.dirtyLo = addr
+	}
+	if addr+size > m.dirtyHi {
+		m.dirtyHi = addr + size
+	}
+	if m.eng != nil {
+		m.eng.Store(addr, size)
+		return
+	}
+	for _, e := range m.engs {
+		e.Store(addr, size)
+	}
+	for _, o := range m.others {
 		o.Store(addr, size)
 	}
 }

@@ -132,8 +132,8 @@ func TestProfileFiltersInternalSymbols(t *testing.T) {
 			t.Errorf("internal symbol %q leaked into the profile", e.Name)
 		}
 	}
-	for _, n := range p.tab.names {
-		if strings.HasPrefix(n, ".") {
+	for i := 0; i < p.tab.Len(); i++ {
+		if n := p.tab.Name(i); strings.HasPrefix(n, ".") {
 			t.Errorf("internal symbol %q retained", n)
 		}
 	}

@@ -1,69 +1,14 @@
 package sim
 
-import (
-	"sort"
-	"strings"
+import "repro/internal/prog"
 
-	"repro/internal/isa"
-	"repro/internal/prog"
-)
-
-// SymTable maps text addresses to the function symbols that contain
-// them. It is the symbol machinery shared by the instruction profiler
-// (Profile) and the pipeline cycle accountant: assembler- and
-// compiler-internal labels (any dot-prefixed name: ".L..." block and
-// far-branch labels, ".pool"-style literal markers) are excluded, and
-// ties between symbols at one address are broken by name so lookups are
-// byte-stable across runs.
-type SymTable struct {
-	names  []string
-	starts []uint32
-}
+// SymTable is the address→function-symbol lookup table shared by the
+// instruction profiler (Profile) and the pipeline cycle accountant. The
+// implementation lives in prog (the package that owns the symbol data)
+// so that timing models can fold attributions per function without
+// importing the simulator; this alias keeps the historical sim.SymTable
+// name working for existing callers.
+type SymTable = prog.SymTable
 
 // NewSymTable builds the lookup table over an image's text symbols.
-func NewSymTable(img *prog.Image) *SymTable {
-	t := &SymTable{}
-	type sym struct {
-		name string
-		addr uint32
-	}
-	var syms []sym
-	for name, addr := range img.Symbols { //detlint:ignore rangemap sorted immediately below
-
-		if addr >= isa.TextBase && addr < img.TextEnd() && !strings.HasPrefix(name, ".") {
-			syms = append(syms, sym{name, addr})
-		}
-	}
-	sort.Slice(syms, func(i, j int) bool {
-		if syms[i].addr != syms[j].addr {
-			return syms[i].addr < syms[j].addr
-		}
-		return syms[i].name < syms[j].name
-	})
-	for _, s := range syms {
-		t.names = append(t.names, s.name)
-		t.starts = append(t.starts, s.addr)
-	}
-	return t
-}
-
-// Len returns the number of symbols.
-func (t *SymTable) Len() int { return len(t.names) }
-
-// Index returns the index of the symbol containing pc, or -1 when pc is
-// below the first symbol.
-func (t *SymTable) Index(pc uint32) int {
-	return sort.Search(len(t.starts), func(i int) bool { return t.starts[i] > pc }) - 1
-}
-
-// Name returns the i'th symbol name, or "?" for out-of-range indices
-// (the conventional label for unattributable addresses).
-func (t *SymTable) Name(i int) string {
-	if i < 0 || i >= len(t.names) {
-		return "?"
-	}
-	return t.names[i]
-}
-
-// Lookup returns the name of the symbol containing pc ("?" when none).
-func (t *SymTable) Lookup(pc uint32) string { return t.Name(t.Index(pc)) }
+func NewSymTable(img *prog.Image) *SymTable { return prog.NewSymTable(img) }

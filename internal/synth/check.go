@@ -51,14 +51,16 @@ func Check(p *Program, specs []*isa.Spec) error {
 		if rep := verify.Image(c.Image, spec); !rep.OK() {
 			return &CheckError{Name: p.Name, Stage: "verify", Config: spec.Name, Detail: rep.Err().Error()}
 		}
-		m, err := sim.New(c.Image)
+		m, err := sim.Acquire(c.Image)
 		if err != nil {
 			return &CheckError{Name: p.Name, Stage: "run", Config: spec.Name, Detail: err.Error()}
 		}
-		if err := m.Run(p.MaxInstrs); err != nil {
+		err = m.Run(p.MaxInstrs)
+		out := m.Output.String()
+		sim.Release(m)
+		if err != nil {
 			return &CheckError{Name: p.Name, Stage: "run", Config: spec.Name, Detail: err.Error()}
 		}
-		out := m.Output.String()
 		if i == 0 {
 			base = out
 			continue
